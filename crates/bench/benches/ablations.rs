@@ -1,0 +1,97 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out.
+//!
+//! Each ablation prints the *quality* effect (energy saving / MPKI /
+//! active ratio with the feature on vs. off) and then times the on-variant
+//! so `cargo bench` tracks it. Quality numbers use `Scale::Bench` runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esteem_bench::experiment_criterion;
+use esteem_core::{run_comparison, AlgoParams, Comparison, SystemConfig, Technique};
+use esteem_harness::Scale;
+use esteem_workloads::benchmark_by_name;
+
+const SCALE: Scale = Scale::Bench;
+
+fn cfg_for(t: Technique) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_single_core(t);
+    cfg.sim_instructions = SCALE.instructions();
+    cfg.warmup_cycles = SCALE.warmup_cycles();
+    cfg
+}
+
+fn algo() -> AlgoParams {
+    AlgoParams {
+        interval_cycles: SCALE.interval_cycles(),
+        ..AlgoParams::paper_single_core()
+    }
+}
+
+fn run_esteem(bench: &str, tweak: impl Fn(&mut AlgoParams)) -> Comparison {
+    let p = benchmark_by_name(bench).unwrap();
+    let mut a = algo();
+    tweak(&mut a);
+    run_comparison(
+        cfg_for,
+        Technique::Esteem(a),
+        std::slice::from_ref(&p),
+        bench,
+    )
+}
+
+fn describe(label: &str, c: &Comparison) {
+    eprintln!(
+        "  {label:<34} save {:>6.2}%  WS {:>5.3}  dMPKI {:>6.3}  active {:>5.1}%",
+        c.energy_saving_pct,
+        c.weighted_speedup,
+        c.mpki_increase,
+        c.active_ratio * 100.0
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    eprintln!("\n== Ablation: non-LRU guard (omnetpp) ==");
+    describe("guard ON (paper)", &run_esteem("omnetpp", |_| {}));
+    describe(
+        "guard OFF",
+        &run_esteem("omnetpp", |a| a.non_lru_guard = false),
+    );
+
+    eprintln!("\n== Ablation: shrink confirmation (bzip2) ==");
+    describe("damping ON (default)", &run_esteem("bzip2", |_| {}));
+    describe(
+        "damping OFF (raw Algorithm 1)",
+        &run_esteem("bzip2", |a| a.shrink_confirm = false),
+    );
+
+    eprintln!("\n== Ablation: per-module vs uniform reconfiguration (h264ref) ==");
+    describe("8 modules (paper)", &run_esteem("h264ref", |_| {}));
+    describe(
+        "1 module (selective-ways only)",
+        &run_esteem("h264ref", |a| a.modules = 1),
+    );
+
+    eprintln!("\n== Ablation: A_min=1 direct-mapped cliff (gobmk) ==");
+    describe("A_min=3 (paper)", &run_esteem("gobmk", |_| {}));
+    describe(
+        "A_min=1 (direct-mapped floor)",
+        &run_esteem("gobmk", |a| a.a_min = 1),
+    );
+
+    eprintln!("\n== Ablation: max_step reconfiguration limiter (gcc) ==");
+    describe("unbounded (paper)", &run_esteem("gcc", |_| {}));
+    describe(
+        "max_step=2 (future-work ext.)",
+        &run_esteem("gcc", |a| a.max_step = Some(2)),
+    );
+
+    c.bench_function("ablations/esteem_omnetpp_guarded", |b| {
+        b.iter(|| run_esteem("omnetpp", |_| {}))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = experiment_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 2 regeneration: ESTEEM's per-interval reconfiguration trace for
+//! h264ref (per-module active ways over time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esteem_bench::experiment_criterion;
+use esteem_harness::experiments::fig2;
+use esteem_harness::Scale;
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated figure once (bench scale).
+    let r = fig2::run(Scale::Bench, "h264ref");
+    eprintln!("\n{}", fig2::render(&r));
+    c.bench_function("fig2/h264ref_reconfiguration_trace", |b| {
+        b.iter(|| fig2::run(Scale::Bench, "h264ref"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = experiment_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 3 regeneration (single-core, 50 us) on a representative subset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esteem_bench::{experiment_criterion, SINGLE_SUBSET};
+use esteem_harness::experiments::figs;
+use esteem_harness::Scale;
+
+fn bench(c: &mut Criterion) {
+    let r = figs::run_single_core(Scale::Bench, 50.0, 0, Some(SINGLE_SUBSET));
+    eprintln!("\n{}", figs::render(&r));
+    c.bench_function("fig3_single_core_50us/subset", |b| {
+        b.iter(|| figs::run_single_core(Scale::Bench, 50.0, 0, Some(SINGLE_SUBSET)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = experiment_criterion();
+    targets = bench
+}
+criterion_main!(benches);

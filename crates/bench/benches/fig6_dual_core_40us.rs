@@ -1,0 +1,21 @@
+//! Figure 6 regeneration (dual-core, 40 us) on representative mixes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esteem_bench::{experiment_criterion, DUAL_SUBSET};
+use esteem_harness::experiments::figs;
+use esteem_harness::Scale;
+
+fn bench(c: &mut Criterion) {
+    let r = figs::run_dual_core(Scale::Bench, 40.0, 0, Some(DUAL_SUBSET));
+    eprintln!("\n{}", figs::render(&r));
+    c.bench_function("fig6_dual_core_40us/subset", |b| {
+        b.iter(|| figs::run_dual_core(Scale::Bench, 40.0, 0, Some(DUAL_SUBSET)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = experiment_criterion();
+    targets = bench
+}
+criterion_main!(benches);

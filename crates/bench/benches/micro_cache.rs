@@ -1,0 +1,70 @@
+//! Microbenchmarks of the cache substrate: demand-access throughput,
+//! reconfiguration cost, and the embedded profiler.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use esteem_cache::{CacheGeometry, SetAssocCache};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn l2_4mb() -> SetAssocCache {
+    SetAssocCache::new(
+        CacheGeometry::from_capacity(4 << 20, 16, 64, 4, 8),
+        Some(64),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_cache");
+    group.throughput(Throughput::Elements(1));
+
+    // Hot-hit path: repeated accesses to a small resident set.
+    {
+        let mut cache = l2_4mb();
+        let blocks: Vec<u64> = (0..1024u64).collect();
+        for &b in &blocks {
+            cache.access(b, false, 0);
+        }
+        group.bench_function("access_hit", |bch| {
+            let mut i = 0usize;
+            bch.iter(|| {
+                let b = blocks[i & 1023];
+                i += 1;
+                black_box(cache.access(b, false, i as u64))
+            })
+        });
+    }
+
+    // Miss/evict path: random accesses over 4x the capacity.
+    {
+        let mut cache = l2_4mb();
+        let mut rng = SmallRng::seed_from_u64(2);
+        group.bench_function("access_miss_evict", |bch| {
+            bch.iter(|| {
+                let b = rng.gen_range(0..(1u64 << 18) * 4);
+                black_box(cache.access(b, rng.gen_bool(0.3), 1))
+            })
+        });
+    }
+
+    // Reconfiguration: shrink+grow one module of a dirty cache.
+    {
+        let mut cache = l2_4mb();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200_000 {
+            let b = rng.gen_range(0..1u64 << 17);
+            cache.access(b, true, 0);
+        }
+        group.bench_function("reconfigure_module_shrink_grow", |bch| {
+            bch.iter(|| {
+                let a = cache.set_module_active_ways(3, 4, 0);
+                let b = cache.set_module_active_ways(3, 16, 0);
+                black_box((a, b))
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

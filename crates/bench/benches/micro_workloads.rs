@@ -1,0 +1,41 @@
+//! Microbenchmarks of the workload generators: bundle throughput per
+//! behaviour class and end-to-end simulator throughput (instructions per
+//! second of simulation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use esteem_core::{Simulator, SystemConfig, Technique};
+use esteem_workloads::{benchmark_by_name, AccessStream};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_workloads");
+
+    for name in ["gamess", "mcf", "libquantum", "omnetpp", "h264ref"] {
+        let p = benchmark_by_name(name).unwrap();
+        let mut stream = AccessStream::new(&p, 0, 1);
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(format!("next_bundle/{name}"), |b| {
+            b.iter(|| black_box(stream.next_bundle()))
+        });
+    }
+
+    // Whole-simulator throughput: instructions simulated per wall second.
+    {
+        let p = benchmark_by_name("bzip2").unwrap();
+        let instrs = 300_000u64;
+        group.throughput(Throughput::Elements(instrs));
+        group.sample_size(10);
+        group.bench_function("simulator_throughput/bzip2_300k_instrs", |b| {
+            b.iter(|| {
+                let mut cfg = SystemConfig::paper_single_core(Technique::Baseline);
+                cfg.sim_instructions = instrs;
+                cfg.warmup_cycles = 0;
+                black_box(Simulator::single(cfg, &p).run())
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Table 3 regeneration: the full 17-variant parameter-sensitivity sweep
+//! on a two-benchmark subset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esteem_harness::experiments::table3;
+use esteem_harness::Scale;
+
+fn bench(c: &mut Criterion) {
+    let subset: &[&str] = &["gamess"];
+    let r = table3::run(1, Scale::Bench, 0, Some(subset));
+    eprintln!("\n{}", table3::render(&r));
+    let mut group = c.benchmark_group("table3");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(15));
+    group.bench_function("single_core_17_variants_subset", |b| {
+        b.iter(|| table3::run(1, Scale::Bench, 0, Some(subset)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

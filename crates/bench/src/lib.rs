@@ -1,0 +1,27 @@
+//! Shared helpers for the Criterion benchmark targets.
+//!
+//! Each `benches/*.rs` target regenerates one of the paper's tables or
+//! figures at `Scale::Bench` (2 M instructions) on a representative
+//! workload subset, printing the figure's rows once and then measuring the
+//! end-to-end regeneration time. The full-scale regenerations live in the
+//! `esteem-repro` binary (`crates/harness`); these targets exist so
+//! `cargo bench` exercises every experiment path and tracks simulator
+//! throughput.
+
+use criterion::Criterion;
+
+/// Criterion configuration for whole-experiment benches: few samples,
+/// bounded time — one sample is a full (small) experiment.
+pub fn experiment_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(20))
+        .warm_up_time(std::time::Duration::from_secs(3))
+}
+
+/// Representative single-core subset: one benchmark per behaviour class
+/// (cache-resident, L2-latency-bound, streaming, non-LRU).
+pub const SINGLE_SUBSET: &[&str] = &["gamess", "gobmk", "milc", "xalancbmk"];
+
+/// Representative dual-core mixes (best case, streaming pair).
+pub const DUAL_SUBSET: &[&str] = &["GkNe", "LsLb"];

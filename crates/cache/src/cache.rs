@@ -1,0 +1,539 @@
+//! The banked set-associative cache with per-module way masks.
+
+use crate::atd::AtdCounters;
+use crate::config::CacheGeometry;
+use crate::line::Line;
+use crate::lru;
+use crate::stats::CacheStats;
+use crate::BlockAddr;
+
+/// Result of one demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    pub hit: bool,
+    /// LRU recency position of the hit (0 = MRU); meaningless on a miss.
+    pub hit_pos: u8,
+    pub set: u32,
+    pub way: u8,
+    pub bank: u8,
+    pub module: u16,
+    pub leader: bool,
+    /// Whether the fill evicted a valid line (clean or dirty); meaningful
+    /// only on a miss.
+    pub evicted_valid: bool,
+    /// Block address of a dirty line evicted by this access's fill, which
+    /// the caller must forward to the next memory level.
+    pub writeback: Option<BlockAddr>,
+}
+
+/// Result of one module reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReconfigOutcome {
+    /// Dirty lines flushed to the next level by way turn-off.
+    pub writebacks: u64,
+    /// Clean lines discarded by way turn-off.
+    pub discards: u64,
+    /// Line slots that changed power state (on->off plus off->on); this is
+    /// the paper's `N_L`, charged `E_chi` each in the energy model.
+    pub slot_transitions: u64,
+}
+
+impl ReconfigOutcome {
+    pub fn merge(&mut self, o: ReconfigOutcome) {
+        self.writebacks += o.writebacks;
+        self.discards += o.discards;
+        self.slot_transitions += o.slot_transitions;
+    }
+}
+
+/// A banked, set-associative, true-LRU, allocate-on-miss cache whose sets
+/// are divided into `M` contiguous modules, each with an independently
+/// configurable number of active ways. See the crate docs for the role of
+/// leader sets.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geom: CacheGeometry,
+    /// `lines[set * ways + way]`.
+    lines: Vec<Line>,
+    /// Recency orders, `order[set * ways + pos] = way`.
+    order: Vec<u8>,
+    /// Active way count per module (`1..=A`). Leader sets ignore this.
+    module_ways: Vec<u8>,
+    /// Every `leader_stride`-th set is a leader; `None` disables sampling
+    /// (used for the L1s, which are never reconfigured).
+    leader_stride: Option<u32>,
+    /// Interval-scoped profiling counters fed by leader-set hits.
+    pub atd: AtdCounters,
+    /// Lifetime counters.
+    pub stats: CacheStats,
+    valid_lines: u64,
+    /// Valid lines per bank; consumed by refresh policies that only refresh
+    /// valid lines (the counts are exact, maintained incrementally).
+    valid_per_bank: Vec<u64>,
+    active_slots: u64,
+}
+
+impl SetAssocCache {
+    /// Builds a cache with all ways active. `leader_stride` is the paper's
+    /// `R_s` (e.g. 64); pass `None` for unmonitored caches.
+    pub fn new(geom: CacheGeometry, leader_stride: Option<u32>) -> Self {
+        geom.validate();
+        if let Some(rs) = leader_stride {
+            assert!(rs >= 1, "leader stride must be >= 1");
+        }
+        let slots = geom.total_slots() as usize;
+        let mut order = vec![0u8; slots];
+        for set in 0..geom.sets as usize {
+            lru::init_order(&mut order[set * geom.ways as usize..(set + 1) * geom.ways as usize]);
+        }
+        let atd = AtdCounters::new(
+            geom.modules,
+            geom.ways,
+            geom.sets,
+            geom.sets_per_module(),
+            leader_stride.unwrap_or(u32::MAX),
+        );
+        Self {
+            geom,
+            lines: vec![Line::EMPTY; slots],
+            order,
+            module_ways: vec![geom.ways; geom.modules as usize],
+            leader_stride,
+            atd,
+            stats: CacheStats::new(geom.ways),
+            valid_lines: 0,
+            valid_per_bank: vec![0; geom.banks as usize],
+            active_slots: geom.total_slots(),
+        }
+    }
+
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// Whether `set` is a profiling leader set (never reconfigured).
+    #[inline]
+    pub fn is_leader(&self, set: u32) -> bool {
+        match self.leader_stride {
+            Some(rs) => set.is_multiple_of(rs),
+            None => false,
+        }
+    }
+
+    /// Way-enable mask for a set: full for leaders, else the lowest
+    /// `module_ways[m]` ways.
+    #[inline]
+    pub fn mask_for_set(&self, set: u32) -> u64 {
+        let a = self.geom.ways;
+        if self.is_leader(set) {
+            full_mask(a)
+        } else {
+            full_mask(self.module_ways[self.geom.module_of(set) as usize])
+        }
+    }
+
+    /// Active way count of a module (follower sets).
+    pub fn module_active_ways(&self, module: u16) -> u8 {
+        self.module_ways[module as usize]
+    }
+
+    /// Performs one demand access: on a hit, updates recency/dirty state;
+    /// on a miss, allocates (evicting the LRU enabled way) and reports any
+    /// dirty eviction as a write-back.
+    pub fn access(&mut self, block: BlockAddr, write: bool, now: u64) -> AccessOutcome {
+        let g = self.geom;
+        let set = g.set_of(block);
+        let tag = g.tag_of(block);
+        let module = g.module_of(set);
+        let leader = self.is_leader(set);
+        let mask = self.mask_for_set(set);
+        let a = g.ways as usize;
+        let base = set as usize * a;
+        let order = &mut self.order[base..base + a];
+        let lines = &mut self.lines[base..base + a];
+
+        if write {
+            self.stats.writes += 1;
+        }
+
+        // Hit scan over enabled ways.
+        for way in 0..a as u8 {
+            if mask & (1u64 << way) == 0 {
+                continue;
+            }
+            let line = &mut lines[way as usize];
+            if line.valid && line.tag == tag {
+                let pos = lru::position_of(order, way);
+                self.stats.hits += 1;
+                self.stats.pos_hits[pos as usize] += 1;
+                if leader {
+                    self.atd.record_hit(module, pos);
+                }
+                line.dirty |= write;
+                line.last_update = now;
+                lru::touch(order, way);
+                return AccessOutcome {
+                    hit: true,
+                    hit_pos: pos,
+                    set,
+                    way,
+                    bank: g.bank_of(set),
+                    module,
+                    leader,
+                    evicted_valid: false,
+                    writeback: None,
+                };
+            }
+        }
+
+        // Miss: pick a victim — an invalid enabled way if any (search from
+        // the LRU end so refilled ways reuse the stalest slot first),
+        // otherwise the LRU enabled way.
+        self.stats.misses += 1;
+        let victim = order
+            .iter()
+            .rev()
+            .copied()
+            .find(|&w| mask & (1u64 << w) != 0 && !lines[w as usize].valid)
+            .or_else(|| lru::lru_victim(order, mask))
+            .expect("a module must always have at least one enabled way");
+
+        let vline = &mut lines[victim as usize];
+        let mut writeback = None;
+        let evicted_valid = vline.valid;
+        if vline.valid {
+            if vline.dirty {
+                writeback = Some(g.block_of(vline.tag, set));
+                self.stats.writebacks += 1;
+            }
+        } else {
+            self.valid_lines += 1;
+            self.valid_per_bank[g.bank_of(set) as usize] += 1;
+        }
+        vline.fill(tag, write, now);
+        lru::touch(order, victim);
+
+        AccessOutcome {
+            hit: false,
+            hit_pos: 0,
+            set,
+            way: victim,
+            bank: g.bank_of(set),
+            module,
+            leader,
+            evicted_valid,
+            writeback,
+        }
+    }
+
+    /// Non-mutating presence check (no recency update).
+    pub fn probe(&self, block: BlockAddr) -> bool {
+        let g = self.geom;
+        let set = g.set_of(block);
+        let tag = g.tag_of(block);
+        let mask = self.mask_for_set(set);
+        let a = g.ways as usize;
+        let base = set as usize * a;
+        (0..a as u8).any(|w| {
+            mask & (1u64 << w) != 0 && {
+                let l = &self.lines[base + w as usize];
+                l.valid && l.tag == tag
+            }
+        })
+    }
+
+    /// Reconfigures module `m` to keep exactly `new_ways` ways active in
+    /// its follower sets. Shrinking flushes the lines held in turned-off
+    /// ways (clean discarded, dirty counted for write-back, paper §5);
+    /// growing enables empty ways. Returns the flush/transition counts the
+    /// system simulator charges to traffic and `E_chi`.
+    pub fn set_module_active_ways(&mut self, m: u16, new_ways: u8, _now: u64) -> ReconfigOutcome {
+        assert!(
+            (1..=self.geom.ways).contains(&new_ways),
+            "active ways must be in 1..=A"
+        );
+        let old = self.module_ways[m as usize];
+        if old == new_ways {
+            return ReconfigOutcome::default();
+        }
+        let g = self.geom;
+        let a = g.ways as usize;
+        let spm = g.sets_per_module();
+        let first_set = u32::from(m) * spm;
+        let mut out = ReconfigOutcome::default();
+        let mut follower_sets = 0u64;
+
+        for set in first_set..first_set + spm {
+            if self.is_leader(set) {
+                continue;
+            }
+            follower_sets += 1;
+            if new_ways < old {
+                let base = set as usize * a;
+                for way in new_ways..old {
+                    let line = &mut self.lines[base + way as usize];
+                    if line.valid {
+                        if line.dirty {
+                            out.writebacks += 1;
+                        } else {
+                            out.discards += 1;
+                        }
+                        line.invalidate();
+                        self.valid_lines -= 1;
+                        self.valid_per_bank[g.bank_of(set) as usize] -= 1;
+                    }
+                }
+            }
+        }
+
+        let delta = u64::from(old.abs_diff(new_ways));
+        out.slot_transitions = delta * follower_sets;
+        let slots_delta = delta * follower_sets;
+        if new_ways > old {
+            self.active_slots += slots_delta;
+        } else {
+            self.active_slots -= slots_delta;
+        }
+        self.module_ways[m as usize] = new_ways;
+        out
+    }
+
+    /// Number of currently valid lines (all valid lines live in active
+    /// ways, because turn-off invalidates).
+    pub fn valid_lines(&self) -> u64 {
+        self.valid_lines
+    }
+
+    /// Exact per-bank valid-line counts.
+    pub fn valid_lines_per_bank(&self) -> &[u64] {
+        &self.valid_per_bank
+    }
+
+    /// Invalidates one line (no write-back; the caller is responsible for
+    /// any traffic accounting). Returns `(was_valid, was_dirty)`. Used by
+    /// the RPD refresh policy, which eagerly invalidates clean blocks
+    /// instead of refreshing them.
+    pub fn invalidate_line(&mut self, set: u32, way: u8) -> (bool, bool) {
+        let bank = self.geom.bank_of(set) as usize;
+        let line = &mut self.lines[set as usize * self.geom.ways as usize + way as usize];
+        let was = (line.valid, line.dirty);
+        if line.valid {
+            line.invalidate();
+            self.valid_lines -= 1;
+            self.valid_per_bank[bank] -= 1;
+        }
+        was
+    }
+
+    /// Number of powered-on line slots (leader sets count fully).
+    pub fn active_slots(&self) -> u64 {
+        self.active_slots
+    }
+
+    /// Fraction of the cache that is powered on — the paper's `F_A`.
+    pub fn active_fraction(&self) -> f64 {
+        self.active_slots as f64 / self.geom.total_slots() as f64
+    }
+
+    #[inline]
+    pub fn line(&self, set: u32, way: u8) -> &Line {
+        &self.lines[set as usize * self.geom.ways as usize + way as usize]
+    }
+
+    #[inline]
+    pub fn line_mut(&mut self, set: u32, way: u8) -> &mut Line {
+        &mut self.lines[set as usize * self.geom.ways as usize + way as usize]
+    }
+
+    /// Visits every valid line (used by refresh engines).
+    pub fn for_each_valid(&self, mut f: impl FnMut(u32, u8, &Line)) {
+        let a = self.geom.ways as usize;
+        for set in 0..self.geom.sets {
+            let base = set as usize * a;
+            for way in 0..a as u8 {
+                let l = &self.lines[base + way as usize];
+                if l.valid {
+                    f(set, way, l);
+                }
+            }
+        }
+    }
+
+    /// Recomputed (non-incremental) valid-line count, for invariant checks.
+    #[doc(hidden)]
+    pub fn recount_valid(&self) -> u64 {
+        self.lines.iter().filter(|l| l.valid).count() as u64
+    }
+}
+
+#[inline]
+fn full_mask(ways: u8) -> u64 {
+    if ways >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << ways) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        // 64 sets x 4 ways x 64B = 16KB, 2 banks, 4 modules, leaders @8.
+        let g = CacheGeometry::from_capacity(16 << 10, 4, 64, 2, 4);
+        SetAssocCache::new(g, Some(8))
+    }
+
+    /// Block address landing in `set` with tag `t`.
+    fn blk(c: &SetAssocCache, set: u32, t: u64) -> BlockAddr {
+        c.geometry().block_of(t, set)
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small();
+        let b = blk(&c, 5, 7);
+        let r1 = c.access(b, false, 10);
+        assert!(!r1.hit);
+        assert_eq!(c.valid_lines(), 1);
+        let r2 = c.access(b, false, 20);
+        assert!(r2.hit);
+        assert_eq!(r2.hit_pos, 0);
+        assert_eq!(c.line(r2.set, r2.way).last_update, 20);
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_and_writeback() {
+        let mut c = small();
+        // Fill set 1 with 4 blocks, the first written dirty.
+        let b0 = blk(&c, 1, 100);
+        c.access(b0, true, 0);
+        for t in 101..104 {
+            c.access(blk(&c, 1, t), false, t);
+        }
+        assert_eq!(c.valid_lines(), 4);
+        // Fifth distinct block evicts b0 (LRU, dirty) -> writeback of b0.
+        let r = c.access(blk(&c, 1, 200), false, 300);
+        assert!(!r.hit);
+        assert_eq!(r.writeback, Some(b0));
+        assert_eq!(c.stats.writebacks, 1);
+        assert_eq!(c.valid_lines(), 4);
+        // b0 is gone.
+        assert!(!c.probe(b0));
+    }
+
+    #[test]
+    fn hit_positions_follow_recency() {
+        let mut c = small();
+        let bs: Vec<_> = (0..4).map(|t| blk(&c, 2, 100 + t)).collect();
+        for &b in &bs {
+            c.access(b, false, 0);
+        }
+        // bs[3] is MRU, bs[0] is LRU.
+        assert_eq!(c.access(bs[0], false, 1).hit_pos, 3);
+        // Now bs[0] is MRU.
+        assert_eq!(c.access(bs[0], false, 2).hit_pos, 0);
+        assert_eq!(c.access(bs[3], false, 3).hit_pos, 1);
+    }
+
+    #[test]
+    fn shrink_flushes_and_grow_enables() {
+        let mut c = small();
+        // Touch every way of every set of module 1 (sets 16..32).
+        for set in 16..32u32 {
+            for t in 0..4u64 {
+                c.access(blk(&c, set, 10 + t), t == 0, 0);
+            }
+        }
+        let valid_before = c.valid_lines();
+        let out = c.set_module_active_ways(1, 2, 1000);
+        // 15 follower sets (set 16 and 24 are leaders: stride 8 -> 16, 24).
+        // Sets 16 and 24 are leaders -> 14 follower sets, 2 ways flushed.
+        let followers = (16..32u32).filter(|s| !c.is_leader(*s)).count() as u64;
+        assert_eq!(out.writebacks + out.discards, followers * 2);
+        assert_eq!(out.slot_transitions, followers * 2);
+        assert_eq!(c.valid_lines(), valid_before - followers * 2);
+        assert_eq!(c.recount_valid(), c.valid_lines());
+        assert!(c.active_fraction() < 1.0);
+
+        // Grow back: no flushes, same transition count.
+        let out2 = c.set_module_active_ways(1, 4, 2000);
+        assert_eq!(out2.writebacks + out2.discards, 0);
+        assert_eq!(out2.slot_transitions, followers * 2);
+        assert_eq!(c.active_fraction(), 1.0);
+    }
+
+    #[test]
+    fn leaders_ignore_reconfiguration() {
+        let mut c = small();
+        c.set_module_active_ways(0, 1, 0);
+        // Set 0 is a leader: all four distinct tags must coexist.
+        for t in 0..4u64 {
+            c.access(blk(&c, 0, 50 + t), false, 0);
+        }
+        for t in 0..4u64 {
+            assert!(c.probe(blk(&c, 0, 50 + t)), "leader set lost a way");
+        }
+        // Set 1 is a follower with 1 active way: only the last survives.
+        for t in 0..4u64 {
+            c.access(blk(&c, 1, 50 + t), false, 0);
+        }
+        assert!(c.probe(blk(&c, 1, 53)));
+        assert!(!c.probe(blk(&c, 1, 50)));
+    }
+
+    #[test]
+    fn leader_hits_feed_atd() {
+        let mut c = small();
+        let b = blk(&c, 8, 3); // set 8 is a leader (stride 8)
+        c.access(b, false, 0);
+        c.access(b, false, 1);
+        let m = c.geometry().module_of(8);
+        assert_eq!(c.atd.module_hits(m)[0], 1);
+        // Follower hits must not feed the ATD.
+        let bf = blk(&c, 9, 3);
+        c.access(bf, false, 0);
+        c.access(bf, false, 1);
+        let sum: u64 = (0..4u16)
+            .map(|mm| c.atd.module_hits(mm).iter().sum::<u64>())
+            .sum();
+        assert_eq!(sum, 1);
+    }
+
+    #[test]
+    fn noop_reconfig_is_free() {
+        let mut c = small();
+        let out = c.set_module_active_ways(2, 4, 0);
+        assert_eq!(out, ReconfigOutcome::default());
+    }
+
+    #[test]
+    fn active_fraction_accounts_leaders() {
+        let mut c = small();
+        for m in 0..4 {
+            c.set_module_active_ways(m, 1, 0);
+        }
+        // 8 leader sets keep 4 ways; 56 followers keep 1.
+        let expect = (8.0 * 4.0 + 56.0 * 1.0) / 256.0;
+        assert!((c.active_fraction() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_sets_dirty_on_hit() {
+        let mut c = small();
+        let b = blk(&c, 3, 9);
+        c.access(b, false, 0);
+        let r = c.access(b, true, 1);
+        assert!(c.line(r.set, r.way).dirty);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=A")]
+    fn zero_ways_rejected() {
+        let mut c = small();
+        c.set_module_active_ways(0, 0, 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Cache geometry and address mapping.
+
+use crate::BlockAddr;
+
+/// Static geometry of one cache level.
+///
+/// Invariants (checked by [`CacheGeometry::validate`]):
+/// * `sets` is a power of two;
+/// * `modules` divides `sets` and `banks` divides `sets`;
+/// * `1 <= ways <= 64` (way masks are stored in a `u64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Associativity `A`.
+    pub ways: u8,
+    /// Line (block) size in bytes; 64 throughout the paper.
+    pub line_bytes: u32,
+    /// Number of independently refreshable banks (paper: 4 for the L2).
+    pub banks: u8,
+    /// Number of reconfiguration modules `M` the sets are divided into.
+    /// `1` for caches that are never reconfigured (the L1s).
+    pub modules: u16,
+    /// Tag size in bits (paper: 40); only used for storage-overhead math.
+    pub tag_bits: u32,
+}
+
+impl CacheGeometry {
+    /// Geometry from a total capacity. Panics if the capacity is not an
+    /// exact multiple of `ways * line_bytes` or violates invariants.
+    pub fn from_capacity(
+        capacity_bytes: u64,
+        ways: u8,
+        line_bytes: u32,
+        banks: u8,
+        modules: u16,
+    ) -> Self {
+        let line_capacity = u64::from(ways as u32) * u64::from(line_bytes);
+        assert!(
+            capacity_bytes.is_multiple_of(line_capacity),
+            "capacity {capacity_bytes} not a multiple of ways*line"
+        );
+        let sets = (capacity_bytes / line_capacity) as u32;
+        let g = Self {
+            sets,
+            ways,
+            line_bytes,
+            banks,
+            modules,
+            tag_bits: 40,
+        };
+        g.validate();
+        g
+    }
+
+    /// Checks the structural invariants; panics with a descriptive message
+    /// on violation. Called by constructors and by [`SetAssocCache::new`].
+    ///
+    /// [`SetAssocCache::new`]: crate::SetAssocCache::new
+    pub fn validate(&self) {
+        assert!(self.sets.is_power_of_two(), "sets must be a power of two");
+        assert!((1..=64).contains(&self.ways), "ways must be in 1..=64");
+        assert!(self.modules >= 1, "modules must be >= 1");
+        assert!(
+            self.sets.is_multiple_of(u32::from(self.modules)),
+            "modules ({}) must divide sets ({})",
+            self.modules,
+            self.sets
+        );
+        assert!(self.banks >= 1, "banks must be >= 1");
+        assert!(
+            self.sets.is_multiple_of(u32::from(self.banks)),
+            "banks must divide sets"
+        );
+        assert!(self.line_bytes.is_power_of_two(), "line size power of two");
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        u64::from(self.sets) * u64::from(self.ways as u32) * u64::from(self.line_bytes)
+    }
+
+    /// Total number of line slots (`S * A`).
+    pub fn total_slots(&self) -> u64 {
+        u64::from(self.sets) * u64::from(self.ways)
+    }
+
+    /// Sets per module.
+    pub fn sets_per_module(&self) -> u32 {
+        self.sets / u32::from(self.modules)
+    }
+
+    /// Set index of a block address (low bits, standard modulo indexing).
+    #[inline]
+    pub fn set_of(&self, block: BlockAddr) -> u32 {
+        (block & u64::from(self.sets - 1)) as u32
+    }
+
+    /// Tag of a block address (bits above the set index).
+    #[inline]
+    pub fn tag_of(&self, block: BlockAddr) -> u64 {
+        block >> self.sets.trailing_zeros()
+    }
+
+    /// Reconstructs the block address from a (tag, set) pair; inverse of
+    /// [`Self::set_of`] + [`Self::tag_of`].
+    #[inline]
+    pub fn block_of(&self, tag: u64, set: u32) -> BlockAddr {
+        (tag << self.sets.trailing_zeros()) | u64::from(set)
+    }
+
+    /// Bank of a set. Consecutive sets stripe across banks, so uniform set
+    /// usage spreads evenly over banks.
+    #[inline]
+    pub fn bank_of(&self, set: u32) -> u8 {
+        (set % u32::from(self.banks)) as u8
+    }
+
+    /// Module owning a set. Modules are *contiguous* ranges of sets, per the
+    /// paper's example ("with 4096 sets and 16 modules, each module has 256
+    /// sets").
+    #[inline]
+    pub fn module_of(&self, set: u32) -> u16 {
+        (set / self.sets_per_module()) as u16
+    }
+
+    /// Storage overhead of the ESTEEM counters as a percentage of the cache
+    /// size — equation (1) of the paper:
+    /// `Overhead = (2A+1) * M * 40 / (S * A * (B + G)) * 100`
+    /// with `B` the line size in *bits* and `G` the tag size in bits.
+    pub fn esteem_counter_overhead_percent(&self) -> f64 {
+        let a = f64::from(self.ways);
+        let m = f64::from(self.modules);
+        let s = f64::from(self.sets);
+        let b_bits = f64::from(self.line_bytes) * 8.0;
+        let g_bits = f64::from(self.tag_bits);
+        (2.0 * a + 1.0) * m * 40.0 / (s * a * (b_bits + g_bits)) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2_4mb() -> CacheGeometry {
+        CacheGeometry::from_capacity(4 << 20, 16, 64, 4, 16)
+    }
+
+    #[test]
+    fn capacity_round_trip() {
+        let g = l2_4mb();
+        assert_eq!(g.sets, 4096);
+        assert_eq!(g.capacity_bytes(), 4 << 20);
+        assert_eq!(g.total_slots(), 65536);
+        assert_eq!(g.sets_per_module(), 256);
+    }
+
+    #[test]
+    fn address_mapping_round_trip() {
+        let g = l2_4mb();
+        for block in [0u64, 1, 4095, 4096, 0xdead_beef, u64::MAX >> 7] {
+            let set = g.set_of(block);
+            let tag = g.tag_of(block);
+            assert_eq!(g.block_of(tag, set), block);
+            assert!(set < g.sets);
+        }
+    }
+
+    #[test]
+    fn modules_are_contiguous() {
+        let g = l2_4mb();
+        assert_eq!(g.module_of(0), 0);
+        assert_eq!(g.module_of(255), 0);
+        assert_eq!(g.module_of(256), 1);
+        assert_eq!(g.module_of(4095), 15);
+    }
+
+    #[test]
+    fn banks_stripe() {
+        let g = l2_4mb();
+        assert_eq!(g.bank_of(0), 0);
+        assert_eq!(g.bank_of(1), 1);
+        assert_eq!(g.bank_of(4), 0);
+    }
+
+    #[test]
+    fn paper_overhead_example() {
+        // Paper §5: "For a 4MB cache with 16 modules and 16-way
+        // set-associativity, the overhead of ESTEEM is found to be 0.06%".
+        let g = l2_4mb();
+        let pct = g.esteem_counter_overhead_percent();
+        assert!(
+            (pct - 0.06).abs() < 0.005,
+            "overhead {pct} not ~0.06% as in the paper"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_sets() {
+        CacheGeometry {
+            sets: 3000,
+            ways: 16,
+            line_bytes: 64,
+            banks: 4,
+            modules: 8,
+            tag_bits: 40,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide sets")]
+    fn rejects_non_dividing_modules() {
+        CacheGeometry {
+            sets: 4096,
+            ways: 16,
+            line_bytes: 64,
+            banks: 4,
+            modules: 3,
+            tag_bits: 40,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,122 @@
+//! True-LRU recency bookkeeping over the ways of one set.
+//!
+//! Each set owns a slice `order[0..A]` where `order[p]` is the physical way
+//! currently at recency position `p` (position 0 = MRU, position `A-1` =
+//! LRU). This representation makes the two quantities ESTEEM needs cheap:
+//! the *LRU position of a hit* (a linear scan, `A <= 64`) and the *LRU
+//! victim among enabled ways* (scan from the tail).
+
+/// Returns the recency position of `way` within `order`.
+///
+/// Panics if `way` is not present (set corruption).
+#[inline]
+pub fn position_of(order: &[u8], way: u8) -> u8 {
+    for (p, &w) in order.iter().enumerate() {
+        if w == way {
+            return p as u8;
+        }
+    }
+    panic!("way {way} missing from LRU order {order:?}");
+}
+
+/// Moves `way` to the MRU position, shifting the intervening entries down.
+#[inline]
+pub fn touch(order: &mut [u8], way: u8) {
+    let p = position_of(order, way) as usize;
+    // Rotate order[0..=p] right by one so order[0] == way.
+    order.copy_within(0..p, 1);
+    order[0] = way;
+}
+
+/// Picks the least-recently-used way among those enabled in `mask`
+/// (bit `w` of `mask` set means physical way `w` is enabled).
+///
+/// Returns `None` when the mask enables no way (caller bug).
+#[inline]
+pub fn lru_victim(order: &[u8], mask: u64) -> Option<u8> {
+    order
+        .iter()
+        .rev()
+        .copied()
+        .find(|&w| mask & (1u64 << w) != 0)
+}
+
+/// Canonical initial order: way `w` at position `w`.
+pub fn init_order(order: &mut [u8]) {
+    for (i, o) in order.iter_mut().enumerate() {
+        *o = i as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn touch_moves_to_front() {
+        let mut order = [0u8, 1, 2, 3];
+        touch(&mut order, 2);
+        assert_eq!(order, [2, 0, 1, 3]);
+        touch(&mut order, 2);
+        assert_eq!(order, [2, 0, 1, 3]);
+        touch(&mut order, 3);
+        assert_eq!(order, [3, 2, 0, 1]);
+    }
+
+    #[test]
+    fn victim_respects_mask() {
+        let order = [3u8, 2, 0, 1];
+        // All enabled: LRU is the tail, way 1.
+        assert_eq!(lru_victim(&order, 0b1111), Some(1));
+        // Way 1 disabled: next least recent is way 0.
+        assert_eq!(lru_victim(&order, 0b1101), Some(0));
+        // Only way 3 enabled.
+        assert_eq!(lru_victim(&order, 0b1000), Some(3));
+        // Nothing enabled.
+        assert_eq!(lru_victim(&order, 0), None);
+    }
+
+    proptest! {
+        /// After any sequence of touches the order stays a permutation, and
+        /// the most recently touched way is at position 0.
+        #[test]
+        fn order_stays_permutation(touches in proptest::collection::vec(0u8..8, 1..200)) {
+            let mut order = [0u8; 8];
+            init_order(&mut order);
+            for &w in &touches {
+                touch(&mut order, w);
+                prop_assert_eq!(order[0], w);
+                let mut seen = [false; 8];
+                for &x in &order {
+                    prop_assert!(!seen[x as usize], "duplicate way in order");
+                    seen[x as usize] = true;
+                }
+            }
+            let last = *touches.last().unwrap();
+            prop_assert_eq!(position_of(&order, last), 0);
+        }
+
+        /// The victim is always an enabled way and is less recent than every
+        /// other enabled way.
+        #[test]
+        fn victim_is_least_recent_enabled(
+            touches in proptest::collection::vec(0u8..8, 0..100),
+            mask in 1u64..256,
+        ) {
+            let mut order = [0u8; 8];
+            init_order(&mut order);
+            for &w in &touches {
+                touch(&mut order, w);
+            }
+            let v = lru_victim(&order, mask).unwrap();
+            prop_assert!(mask & (1 << v) != 0);
+            let vp = position_of(&order, v);
+            for w in 0..8u8 {
+                if mask & (1 << w) != 0 {
+                    prop_assert!(position_of(&order, w) <= vp);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Cumulative per-cache counters.
+
+/// Lifetime counters of one cache instance. These never reset during a
+/// simulation; interval-scoped profiling lives in [`crate::AtdCounters`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses that hit.
+    pub hits: u64,
+    /// Demand accesses that missed (and allocated).
+    pub misses: u64,
+    /// Dirty evictions handed to the next level.
+    pub writebacks: u64,
+    /// Write accesses (subset of hits+misses).
+    pub writes: u64,
+    /// Cumulative hits per LRU position (index = recency position).
+    pub pos_hits: Vec<u64>,
+}
+
+impl CacheStats {
+    pub fn new(ways: u8) -> Self {
+        Self {
+            pos_hits: vec![0; ways as usize],
+            ..Default::default()
+        }
+    }
+
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_handles_zero() {
+        let s = CacheStats::new(4);
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.pos_hits.len(), 4);
+    }
+}

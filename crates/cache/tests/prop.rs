@@ -1,0 +1,126 @@
+//! Property tests over arbitrary interleavings of cache operations.
+
+use esteem_cache::{CacheGeometry, SetAssocCache};
+use proptest::prelude::*;
+
+/// A random cache operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Access { block: u64, write: bool },
+    Reconfig { module: u16, ways: u8 },
+    Invalidate { set: u32, way: u8 },
+}
+
+fn op_strategy(sets: u32, ways: u8, modules: u16) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u64..5_000, any::<bool>()).prop_map(|(block, write)| Op::Access { block, write }),
+        1 => (0..modules, 1..=ways).prop_map(|(module, ways)| Op::Reconfig { module, ways }),
+        1 => (0..sets, 0..ways).prop_map(|(set, way)| Op::Invalidate { set, way }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Under any interleaving of accesses, reconfigurations, and
+    /// invalidations:
+    /// * the incremental valid-line counters match a full recount;
+    /// * per-bank valid counts sum to the total;
+    /// * the active fraction stays in (0, 1];
+    /// * no *follower* set holds valid lines in disabled ways.
+    #[test]
+    fn counters_and_masks_stay_consistent(
+        ops in proptest::collection::vec(op_strategy(64, 8, 4), 1..400),
+    ) {
+        let g = CacheGeometry::from_capacity(32 << 10, 8, 64, 2, 4);
+        let mut c = SetAssocCache::new(g, Some(16));
+        let mut now = 0u64;
+        for op in &ops {
+            now += 1;
+            match *op {
+                Op::Access { block, write } => {
+                    let out = c.access(block, write, now);
+                    prop_assert!(out.set < g.sets);
+                    prop_assert!(out.way < g.ways);
+                    // The filled/hit way must be enabled for this set.
+                    prop_assert!(
+                        c.mask_for_set(out.set) & (1 << out.way) != 0,
+                        "access landed in a disabled way"
+                    );
+                }
+                Op::Reconfig { module, ways } => {
+                    c.set_module_active_ways(module, ways, now);
+                }
+                Op::Invalidate { set, way } => {
+                    c.invalidate_line(set, way);
+                }
+            }
+        }
+        prop_assert_eq!(c.valid_lines(), c.recount_valid());
+        let bank_sum: u64 = c.valid_lines_per_bank().iter().sum();
+        prop_assert_eq!(bank_sum, c.valid_lines());
+        let af = c.active_fraction();
+        prop_assert!(af > 0.0 && af <= 1.0);
+        // Disabled follower ways hold no valid lines.
+        for set in 0..g.sets {
+            if c.is_leader(set) {
+                continue;
+            }
+            let mask = c.mask_for_set(set);
+            for way in 0..g.ways {
+                if mask & (1 << way) == 0 {
+                    prop_assert!(
+                        !c.line(set, way).valid,
+                        "valid line in disabled way {way} of set {set}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A hit always returns the same data identity (tag round trip): after
+    /// accessing block B, probing B succeeds until B's way is disabled or
+    /// B is evicted by associativity pressure in its own set.
+    #[test]
+    fn present_until_evicted(
+        blocks in proptest::collection::vec(0u64..2_000, 1..100),
+    ) {
+        let g = CacheGeometry::from_capacity(32 << 10, 8, 64, 2, 4);
+        let mut c = SetAssocCache::new(g, None);
+        for (i, &b) in blocks.iter().enumerate() {
+            c.access(b, false, i as u64);
+            prop_assert!(c.probe(b), "block {b} missing right after access");
+        }
+        // The most recent access is always still present.
+        prop_assert!(c.probe(*blocks.last().unwrap()));
+    }
+
+    /// Hits + misses always equals accesses, and write-backs never exceed
+    /// misses + invalidation flushes (a dirty line leaves at most once).
+    #[test]
+    fn accounting_identities(
+        ops in proptest::collection::vec(op_strategy(64, 8, 4), 1..300),
+    ) {
+        let g = CacheGeometry::from_capacity(32 << 10, 8, 64, 2, 4);
+        let mut c = SetAssocCache::new(g, Some(16));
+        let mut accesses = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Access { block, write } => {
+                    c.access(block, write, i as u64);
+                    accesses += 1;
+                }
+                Op::Reconfig { module, ways } => {
+                    c.set_module_active_ways(module, ways, i as u64);
+                }
+                Op::Invalidate { set, way } => {
+                    c.invalidate_line(set, way);
+                }
+            }
+        }
+        prop_assert_eq!(c.stats.hits + c.stats.misses, accesses);
+        prop_assert!(c.stats.writebacks <= c.stats.misses + 1 + ops.len() as u64);
+        let pos_sum: u64 = c.stats.pos_hits.iter().sum();
+        prop_assert_eq!(pos_sum, c.stats.hits, "per-position hits must sum to hits");
+    }
+}

@@ -1,0 +1,170 @@
+//! Per-core execution state and cycle accounting.
+
+use esteem_cache::SetAssocCache;
+use esteem_workloads::{AccessStream, BenchmarkProfile, Bundle};
+
+/// One core: its workload stream, private L1D, and local clock.
+///
+/// The timing model (DESIGN.md §3 substitution 2): a bundle of `n`
+/// instructions costs `n * cpi_base` cycles of execution; if its memory
+/// reference misses the L1, the core additionally stalls for the *visible*
+/// part of the L2/memory round trip:
+/// `max(0, latency - overlap) / mlp`, where `overlap` models the OOO
+/// window hiding short latencies and `mlp` the benchmark's memory-level
+/// parallelism. L1 hits are free (the 2-cycle pipelined L1 is part of
+/// `cpi_base`).
+#[derive(Debug, Clone)]
+pub struct CoreState {
+    pub id: u32,
+    stream: AccessStream,
+    pub l1d: SetAssocCache,
+    /// Local clock, fractional cycles.
+    pub cycles: f64,
+    /// Instructions retired (including warm-up).
+    pub instructions: u64,
+    /// Instruction count when warm-up ended (set by the simulator).
+    pub instrs_at_warmup: Option<u64>,
+    /// Cycle count when warm-up ended (set by the simulator).
+    pub cycles_at_warmup: Option<f64>,
+    /// *Measured* instructions after warm-up at which IPC is recorded.
+    pub target_instructions: u64,
+    /// Cycle count when the target was reached (`None` until then).
+    pub cycles_at_target: Option<f64>,
+    cpi_base: f64,
+    mlp: f64,
+}
+
+impl CoreState {
+    pub fn new(
+        id: u32,
+        profile: &BenchmarkProfile,
+        l1d: SetAssocCache,
+        target_instructions: u64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            id,
+            stream: AccessStream::new(profile, id, seed),
+            l1d,
+            cycles: 0.0,
+            instructions: 0,
+            instrs_at_warmup: None,
+            cycles_at_warmup: None,
+            target_instructions,
+            cycles_at_target: None,
+            cpi_base: profile.cpi_base,
+            mlp: profile.mlp,
+        }
+    }
+
+    /// Marks the end of this core's warm-up (called once by the simulator
+    /// when the global warm-up cycle count passes).
+    pub fn mark_warmup(&mut self) {
+        debug_assert!(self.cycles_at_warmup.is_none());
+        self.instrs_at_warmup = Some(self.instructions);
+        self.cycles_at_warmup = Some(self.cycles);
+    }
+
+    /// Whether this core has finished its warm-up region.
+    pub fn warmed(&self) -> bool {
+        self.cycles_at_warmup.is_some()
+    }
+
+    /// Whether this core has reached its measurement target. (It keeps
+    /// running afterwards in multicore runs, to keep exerting realistic
+    /// pressure on the shared L2 — the paper's methodology, §6.4.)
+    pub fn reached_target(&self) -> bool {
+        self.cycles_at_target.is_some()
+    }
+
+    /// Pulls the next bundle and charges its execution cycles; the memory
+    /// reference is returned for the system to route through the
+    /// hierarchy. Call [`Self::stall`] with the resulting visible latency.
+    pub fn fetch_bundle(&mut self) -> Bundle {
+        let b = self.stream.next_bundle();
+        self.cycles += f64::from(b.instrs) * self.cpi_base;
+        self.instructions += u64::from(b.instrs);
+        b
+    }
+
+    /// Charges a memory stall of `latency` raw cycles, applying the
+    /// overlap window and the benchmark's MLP.
+    pub fn stall(&mut self, latency: f64, overlap: f64) {
+        let visible = (latency - overlap).max(0.0);
+        self.cycles += visible / self.mlp;
+    }
+
+    /// Records the IPC measurement point if just crossed.
+    pub fn note_progress(&mut self) {
+        if self.cycles_at_target.is_none() {
+            if let Some(w) = self.instrs_at_warmup {
+                if self.instructions >= w + self.target_instructions {
+                    self.cycles_at_target = Some(self.cycles);
+                }
+            }
+        }
+    }
+
+    /// IPC over the measured region (panics before the target is reached).
+    pub fn ipc(&self) -> f64 {
+        let c = self
+            .cycles_at_target
+            .expect("IPC requested before the core reached its target");
+        let w = self.cycles_at_warmup.expect("target implies warmed");
+        self.target_instructions as f64 / (c - w)
+    }
+
+    pub fn profile(&self) -> &BenchmarkProfile {
+        self.stream.profile()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esteem_cache::CacheGeometry;
+    use esteem_workloads::benchmark_by_name;
+
+    fn l1() -> SetAssocCache {
+        SetAssocCache::new(CacheGeometry::from_capacity(32 << 10, 4, 64, 1, 1), None)
+    }
+
+    #[test]
+    fn cycle_accounting() {
+        let p = benchmark_by_name("gamess").unwrap();
+        let mut c = CoreState::new(0, &p, l1(), 1000, 7);
+        c.mark_warmup();
+        let b = c.fetch_bundle();
+        assert!((c.cycles - f64::from(b.instrs) * p.cpi_base).abs() < 1e-9);
+        c.stall(100.0, 8.0);
+        assert!((c.cycles - (f64::from(b.instrs) * p.cpi_base + 92.0 / p.mlp)).abs() < 1e-9);
+        // Overlap swallows short latencies entirely.
+        let before = c.cycles;
+        c.stall(5.0, 8.0);
+        assert_eq!(c.cycles, before);
+    }
+
+    #[test]
+    fn target_recording() {
+        let p = benchmark_by_name("povray").unwrap();
+        let mut c = CoreState::new(0, &p, l1(), 100, 7);
+        // Simulate a warm-up region of ~50 instructions.
+        while c.instructions < 50 {
+            c.fetch_bundle();
+        }
+        c.mark_warmup();
+        assert!(c.warmed());
+        while !c.reached_target() {
+            c.fetch_bundle();
+            c.note_progress();
+        }
+        assert!(c.instructions >= 150);
+        let ipc = c.ipc();
+        assert!(ipc > 0.0 && ipc < 10.0, "ipc {ipc} out of sane range");
+        // Running past the target must not change the recorded point.
+        let at = c.cycles_at_target;
+        c.fetch_bundle();
+        c.note_progress();
+        assert_eq!(c.cycles_at_target, at);
+    }
+}

@@ -1,0 +1,138 @@
+//! Simulation result types.
+
+use esteem_energy::{EnergyBreakdown, EnergyInputs};
+use serde::{Deserialize, Serialize};
+
+/// One interval's ESTEEM decision (Figure 2 material).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalRecord {
+    /// Cycle at which the reconfiguration was applied.
+    pub cycle: u64,
+    /// Active ways chosen per module.
+    pub ways: Vec<u8>,
+    /// L2 active fraction right after applying the decision.
+    pub active_fraction: f64,
+}
+
+/// Per-core outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreReport {
+    /// Instructions at the IPC measurement point (the configured target).
+    pub instructions: u64,
+    /// Cycles the core took to reach the target.
+    pub cycles: f64,
+    /// Measured IPC at the target.
+    pub ipc: f64,
+    /// L1D statistics.
+    pub l1_hits: u64,
+    pub l1_misses: u64,
+}
+
+/// Complete result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Workload label, e.g. `"h264ref"` or `"GkNe"`.
+    pub workload: String,
+    /// Technique label.
+    pub technique: String,
+    /// Total simulated cycles (quantum-aligned run end).
+    pub cycles: u64,
+    pub per_core: Vec<CoreReport>,
+    /// Raw activity fed to the energy model.
+    pub inputs: EnergyInputs,
+    /// Energy by source (equations 2–8).
+    pub energy: EnergyBreakdown,
+    /// L2 lifetime counters.
+    pub l2_hits: u64,
+    pub l2_misses: u64,
+    pub l2_writebacks: u64,
+    /// Refresh work.
+    pub refreshes: u64,
+    /// RPD eager invalidations (zero for other techniques).
+    pub refresh_invalidations: u64,
+    /// Main-memory accesses (`A_MM`).
+    pub mem_accesses: u64,
+    /// Time-averaged active fraction (1.0 unless ESTEEM).
+    pub active_ratio: f64,
+    /// ESTEEM per-interval decisions (empty otherwise).
+    pub intervals: Vec<IntervalRecord>,
+    /// Mean modelled L2 bank wait over the final window (diagnostics).
+    pub final_bank_wait: f64,
+}
+
+impl SimReport {
+    /// Total instructions over all cores at their measurement points.
+    pub fn total_instructions(&self) -> u64 {
+        self.per_core.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Refreshes per kilo-instruction.
+    pub fn rpki(&self) -> f64 {
+        esteem_energy::metrics::per_kilo_instruction(self.refreshes, self.total_instructions())
+    }
+
+    /// L2 misses per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        esteem_energy::metrics::per_kilo_instruction(self.l2_misses, self.total_instructions())
+    }
+
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.per_core.iter().map(|c| c.ipc).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            workload: "x".into(),
+            technique: "baseline".into(),
+            cycles: 1000,
+            per_core: vec![
+                CoreReport {
+                    instructions: 1_000_000,
+                    cycles: 900_000.0,
+                    ipc: 1.11,
+                    l1_hits: 10,
+                    l1_misses: 5,
+                },
+                CoreReport {
+                    instructions: 1_000_000,
+                    cycles: 800_000.0,
+                    ipc: 1.25,
+                    l1_hits: 20,
+                    l1_misses: 2,
+                },
+            ],
+            inputs: EnergyInputs::default(),
+            energy: EnergyBreakdown::default(),
+            l2_hits: 100,
+            l2_misses: 4000,
+            l2_writebacks: 10,
+            refreshes: 1_000_000,
+            refresh_invalidations: 0,
+            mem_accesses: 4010,
+            active_ratio: 1.0,
+            intervals: vec![],
+            final_bank_wait: 0.0,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert_eq!(r.total_instructions(), 2_000_000);
+        assert!((r.rpki() - 500.0).abs() < 1e-9);
+        assert!((r.mpki() - 2.0).abs() < 1e-9);
+        assert_eq!(r.ipcs(), vec![1.11, 1.25]);
+    }
+
+    #[test]
+    fn serializes() {
+        let r = report();
+        let s = serde_json::to_string(&r).unwrap();
+        assert!(s.contains("\"refreshes\":1000000"));
+    }
+}

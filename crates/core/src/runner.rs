@@ -1,0 +1,126 @@
+//! Paired baseline-vs-technique runs and the paper's comparison metrics.
+
+use esteem_energy::metrics;
+use esteem_workloads::BenchmarkProfile;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{SystemConfig, Technique};
+use crate::report::SimReport;
+use crate::system::Simulator;
+
+/// All §6.4 metrics of one technique against the baseline, for one
+/// workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    pub workload: String,
+    pub technique: String,
+    /// Percentage memory-subsystem energy saved vs. baseline.
+    pub energy_saving_pct: f64,
+    /// Weighted speedup (relative performance), eq. 9.
+    pub weighted_speedup: f64,
+    /// Fair speedup (harmonic); the paper computes it but omits the plots.
+    pub fair_speedup: f64,
+    /// Absolute RPKI decrease vs. baseline.
+    pub rpki_decrease: f64,
+    /// Absolute MPKI increase vs. baseline (0 for RPV by construction).
+    pub mpki_increase: f64,
+    /// Time-averaged active ratio (1.0 unless ESTEEM).
+    pub active_ratio: f64,
+    pub base: SimReport,
+    pub tech: SimReport,
+}
+
+impl Comparison {
+    pub fn from_reports(base: SimReport, tech: SimReport) -> Self {
+        assert_eq!(base.workload, tech.workload, "mismatched runs");
+        let ws = metrics::weighted_speedup(&tech.ipcs(), &base.ipcs());
+        let fs = metrics::fair_speedup(&tech.ipcs(), &base.ipcs());
+        let saving =
+            esteem_energy::model::energy_saving_percent(base.energy.total(), tech.energy.total());
+        Self {
+            workload: base.workload.clone(),
+            technique: tech.technique.clone(),
+            energy_saving_pct: saving,
+            weighted_speedup: ws,
+            fair_speedup: fs,
+            rpki_decrease: base.rpki() - tech.rpki(),
+            mpki_increase: tech.mpki() - base.mpki(),
+            active_ratio: tech.active_ratio,
+            base,
+            tech,
+        }
+    }
+}
+
+/// Runs `technique` and the baseline on the same workload/seed and
+/// compares them. `make_cfg` builds the config for a given technique so
+/// both runs share every other parameter.
+pub fn run_comparison(
+    make_cfg: impl Fn(Technique) -> SystemConfig,
+    technique: Technique,
+    profiles: &[BenchmarkProfile],
+    label: &str,
+) -> Comparison {
+    let base = Simulator::new(make_cfg(Technique::Baseline), profiles, label).run();
+    let tech = Simulator::new(make_cfg(technique), profiles, label).run();
+    Comparison::from_reports(base, tech)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlgoParams;
+    use esteem_workloads::benchmark_by_name;
+
+    fn cfg_builder(instrs: u64) -> impl Fn(Technique) -> SystemConfig {
+        move |t| {
+            let mut c = SystemConfig::paper_single_core(t);
+            c.sim_instructions = instrs;
+            c
+        }
+    }
+
+    #[test]
+    fn esteem_saves_energy_on_cache_resident_workload() {
+        let p = benchmark_by_name("gamess").unwrap();
+        let algo = AlgoParams {
+            interval_cycles: 500_000,
+            ..AlgoParams::paper_single_core()
+        };
+        let cmp = run_comparison(
+            cfg_builder(3_000_000),
+            Technique::Esteem(algo),
+            std::slice::from_ref(&p),
+            "gamess",
+        );
+        assert!(
+            cmp.energy_saving_pct > 20.0,
+            "expected large saving for gamess, got {:.1}%",
+            cmp.energy_saving_pct
+        );
+        assert!(cmp.rpki_decrease > 0.0);
+        assert!(cmp.weighted_speedup > 0.95);
+        assert!(cmp.active_ratio < 0.6);
+    }
+
+    #[test]
+    fn rpv_mpki_increase_is_zero() {
+        let p = benchmark_by_name("hmmer").unwrap();
+        let cmp = run_comparison(
+            cfg_builder(1_000_000),
+            Technique::Rpv,
+            std::slice::from_ref(&p),
+            "hmmer",
+        );
+        // RPV never changes miss behaviour; the residual is only window
+        // misalignment (measurement starts at a fixed warm-up *cycle*, so
+        // the two runs measure minutely different instruction spans).
+        assert!(
+            cmp.mpki_increase.abs() < 0.05,
+            "RPV must not change miss behaviour (got {})",
+            cmp.mpki_increase
+        );
+        assert_eq!(cmp.active_ratio, 1.0);
+        assert!(cmp.energy_saving_pct > 0.0, "RPV should save something");
+    }
+}

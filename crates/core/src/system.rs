@@ -1,0 +1,426 @@
+//! The multicore system simulator.
+
+use esteem_cache::SetAssocCache;
+use esteem_edram::{BankContention, RefreshEngine};
+use esteem_energy::{EnergyBreakdown, EnergyInputs, EnergyParams};
+use esteem_mem::MainMemory;
+use esteem_workloads::BenchmarkProfile;
+
+use crate::config::SystemConfig;
+use crate::core_model::CoreState;
+use crate::esteem::EsteemController;
+use crate::report::{CoreReport, SimReport};
+
+/// Deterministic trace-driven multicore simulator.
+///
+/// Cores advance in fixed-size time quanta (relaxed barrier
+/// synchronisation, the approach Sniper itself uses for scalability): each
+/// quantum, every core executes until its local clock passes the quantum
+/// boundary; then the refresh engine, contention windows, and — for
+/// ESTEEM — the interval engine run. The loop ends when every core has
+/// reached its instruction target; early finishers keep running so the
+/// shared L2 keeps seeing their traffic (paper §6.4 methodology).
+///
+/// **Warm-up.** The first `warmup_cycles` stand in for the paper's
+/// 10 B-instruction fast-forward: caches fill and ESTEEM converges. At the
+/// first quantum boundary past the warm-up the simulator snapshots every
+/// system counter (and each core's instruction/cycle position); the final
+/// report contains only post-snapshot deltas.
+pub struct Simulator {
+    cfg: SystemConfig,
+    workload_label: String,
+    cores: Vec<CoreState>,
+    l2: SetAssocCache,
+    refresh: RefreshEngine,
+    contention: BankContention,
+    mem: MainMemory,
+    controller: Option<EsteemController>,
+    clock: u64,
+    next_window: u64,
+    /// Integral of active slots over time (for the time-averaged `F_A`).
+    active_slot_cycles: f64,
+    n_l: u64,
+    reconfig_writebacks: u64,
+    reconfig_discards: u64,
+    /// System-counter snapshot at the end of warm-up (see type docs).
+    snap: Option<Snapshot>,
+}
+
+/// System counters at the measurement start (end of global warm-up).
+#[derive(Debug, Clone, Copy, Default)]
+struct Snapshot {
+    clock: u64,
+    active_slot_cycles: f64,
+    l2_hits: u64,
+    l2_misses: u64,
+    l2_writebacks: u64,
+    refreshes: u64,
+    invalidations: u64,
+    mem_reads: u64,
+    mem_writes: u64,
+    n_l: u64,
+    intervals_logged: usize,
+}
+
+impl Simulator {
+    /// Builds a simulator for `profiles[i]` on core `i`. The label names
+    /// the workload in reports (a benchmark name or a mix acronym).
+    pub fn new(cfg: SystemConfig, profiles: &[BenchmarkProfile], label: &str) -> Self {
+        cfg.validate();
+        assert_eq!(
+            profiles.len(),
+            cfg.cores as usize,
+            "one benchmark profile per core"
+        );
+        let l2 = SetAssocCache::new(cfg.l2_geometry(), cfg.leader_stride());
+        let refresh = RefreshEngine::new(cfg.technique.refresh_policy(), cfg.retention, &l2);
+        let contention = BankContention::new(cfg.l2_banks, cfg.retention.period_cycles)
+            .with_params(2.0, cfg.bank_burst_lines);
+        let mem = MainMemory::new(cfg.mem, cfg.retention.period_cycles);
+        let controller = cfg
+            .technique
+            .algo_params()
+            .map(|p| EsteemController::new(*p));
+        let cores = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                CoreState::new(
+                    i as u32,
+                    p,
+                    SetAssocCache::new(cfg.l1_geometry(), None),
+                    cfg.sim_instructions,
+                    cfg.seed,
+                )
+            })
+            .collect();
+        let next_window = cfg.retention.period_cycles;
+        Self {
+            cfg,
+            workload_label: label.to_owned(),
+            cores,
+            l2,
+            refresh,
+            contention,
+            mem,
+            controller,
+            clock: 0,
+            next_window,
+            active_slot_cycles: 0.0,
+            n_l: 0,
+            reconfig_writebacks: 0,
+            reconfig_discards: 0,
+            snap: None,
+        }
+    }
+
+    fn take_snapshot(&mut self) {
+        for c in &mut self.cores {
+            c.mark_warmup();
+        }
+        self.snap = Some(Snapshot {
+            clock: self.clock,
+            active_slot_cycles: self.active_slot_cycles,
+            l2_hits: self.l2.stats.hits,
+            l2_misses: self.l2.stats.misses,
+            l2_writebacks: self.l2.stats.writebacks,
+            refreshes: self.refresh.total_refreshes(),
+            invalidations: self.refresh.total_invalidations(),
+            mem_reads: self.mem.stats.reads,
+            mem_writes: self.mem.stats.writes,
+            n_l: self.n_l,
+            intervals_logged: self.controller.as_ref().map(|c| c.log.len()).unwrap_or(0),
+        });
+    }
+
+    /// Convenience: single-core simulator.
+    pub fn single(cfg: SystemConfig, profile: &BenchmarkProfile) -> Self {
+        let label = profile.name.to_owned();
+        Self::new(cfg, std::slice::from_ref(profile), &label)
+    }
+
+    /// One shared-L2 access. `now` is the issuing core's local cycle.
+    /// Returns the access's total latency (bank wait + L2 latency +, on a
+    /// miss, the memory round trip). `full_line_write` marks an L1
+    /// write-back: it carries the whole line, so an L2 miss allocates
+    /// *without* fetching from memory (write-validate); demand accesses
+    /// fetch on miss.
+    fn l2_access(&mut self, block: u64, write: bool, full_line_write: bool, now: u64) -> f64 {
+        let out = self.l2.access(block, write, now);
+        self.refresh.on_access(&out, now);
+        let wait = self.contention.access(out.bank);
+        let mut lat = f64::from(self.cfg.l2_latency) + wait;
+        if !out.hit {
+            if !full_line_write {
+                lat += self.mem.read();
+            }
+            if out.writeback.is_some() {
+                self.mem.write();
+            }
+        }
+        lat
+    }
+
+    /// Executes one instruction bundle on core `i`.
+    fn step_core(&mut self, i: usize) {
+        let bundle = self.cores[i].fetch_bundle();
+        let now = self.cores[i].cycles as u64;
+        let l1 = self.cores[i]
+            .l1d
+            .access(bundle.mem.block, bundle.mem.write, now);
+        if !l1.hit {
+            // Demand fill: the L2 copy stays clean (write-back L1 owns the
+            // dirtiness until eviction).
+            let lat = self.l2_access(bundle.mem.block, false, false, now);
+            let overlap = self.cfg.overlap_cycles;
+            self.cores[i].stall(lat, overlap);
+            // Evicted dirty L1 line: posted full-line write to the L2.
+            if let Some(wb) = l1.writeback {
+                let _ = self.l2_access(wb, true, true, now);
+            }
+        }
+        self.cores[i].note_progress();
+    }
+
+    /// End-of-quantum housekeeping at time `qend`.
+    fn quantum_end(&mut self, qend: u64) {
+        self.refresh.advance(&mut self.l2, qend);
+        if qend >= self.next_window {
+            let refr = self.refresh.drain_bank_refreshes();
+            self.contention.roll_window(qend, &refr);
+            self.mem.roll_window(qend);
+            while self.next_window <= qend {
+                self.next_window += self.cfg.retention.period_cycles;
+            }
+        }
+        if let Some(ctl) = &mut self.controller {
+            if ctl.due(qend) {
+                let out = ctl.run_interval(&mut self.l2, qend);
+                self.n_l += out.slot_transitions;
+                self.reconfig_writebacks += out.writebacks;
+                self.reconfig_discards += out.discards;
+                // Flushed dirty lines travel to memory.
+                for _ in 0..out.writebacks {
+                    self.mem.write();
+                }
+            }
+        }
+        self.active_slot_cycles += self.l2.active_slots() as f64 * self.cfg.quantum_cycles as f64;
+        self.clock = qend;
+    }
+
+    /// Runs to completion and produces the report.
+    pub fn run(mut self) -> SimReport {
+        // In a single-core system the run ends exactly at the instruction
+        // target (so technique-independent counters like miss counts are
+        // computed over identical instruction streams); in multicore runs
+        // early finishers keep executing, per the paper's methodology.
+        let single = self.cores.len() == 1;
+        while self.cores.iter().any(|c| !c.reached_target()) {
+            let qend = self.clock + self.cfg.quantum_cycles;
+            for i in 0..self.cores.len() {
+                while self.cores[i].cycles < qend as f64 {
+                    if single && self.cores[i].reached_target() {
+                        break;
+                    }
+                    self.step_core(i);
+                }
+            }
+            self.quantum_end(qend);
+            if self.snap.is_none() && qend >= self.cfg.warmup_cycles {
+                self.take_snapshot();
+            }
+        }
+        self.finish()
+    }
+
+    fn finish(self) -> SimReport {
+        // Measured region = everything after the warm-up snapshot.
+        let snap = self.snap.unwrap_or_default();
+        let cycles = self.clock - snap.clock;
+        let seconds = cycles as f64 / self.cfg.clock_hz;
+        let total_slots = self.l2.geometry().total_slots() as f64;
+        let active_fraction = if cycles > 0 {
+            ((self.active_slot_cycles - snap.active_slot_cycles) / (total_slots * cycles as f64))
+                .min(1.0)
+        } else {
+            1.0
+        };
+        let inputs = EnergyInputs {
+            seconds,
+            active_fraction,
+            l2_hits: self.l2.stats.hits - snap.l2_hits,
+            l2_misses: self.l2.stats.misses - snap.l2_misses,
+            refreshes: self.refresh.total_refreshes() - snap.refreshes,
+            mem_accesses: self.mem.stats.reads - snap.mem_reads + self.mem.stats.writes
+                - snap.mem_writes,
+            block_transitions: self.n_l - snap.n_l,
+        };
+        let params = EnergyParams::for_l2_capacity(self.cfg.l2_capacity);
+        let energy = EnergyBreakdown::compute(&params, &inputs);
+        let per_core = self
+            .cores
+            .iter()
+            .map(|c| CoreReport {
+                instructions: c.target_instructions,
+                cycles: c.cycles_at_target.expect("run() completed")
+                    - c.cycles_at_warmup.expect("target implies warmed"),
+                ipc: c.ipc(),
+                l1_hits: c.l1d.stats.hits,
+                l1_misses: c.l1d.stats.misses,
+            })
+            .collect();
+        SimReport {
+            workload: self.workload_label,
+            technique: self.cfg.technique.name().to_owned(),
+            cycles,
+            per_core,
+            inputs,
+            energy,
+            l2_hits: self.l2.stats.hits - snap.l2_hits,
+            l2_misses: self.l2.stats.misses - snap.l2_misses,
+            l2_writebacks: self.l2.stats.writebacks - snap.l2_writebacks,
+            refreshes: self.refresh.total_refreshes() - snap.refreshes,
+            refresh_invalidations: self.refresh.total_invalidations() - snap.invalidations,
+            mem_accesses: self.mem.stats.reads - snap.mem_reads + self.mem.stats.writes
+                - snap.mem_writes,
+            active_ratio: active_fraction,
+            intervals: self
+                .controller
+                .map(|c| c.log[snap.intervals_logged..].to_vec())
+                .unwrap_or_default(),
+            final_bank_wait: self.contention.mean_wait(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AlgoParams, Technique};
+    use esteem_workloads::benchmark_by_name;
+
+    /// Small, fast config for tests.
+    fn quick(technique: Technique, instrs: u64) -> SystemConfig {
+        let mut cfg = SystemConfig::paper_single_core(technique);
+        cfg.sim_instructions = instrs;
+        cfg.warmup_cycles = 200_000;
+        cfg
+    }
+
+    fn quick_algo() -> AlgoParams {
+        // Shorter interval so tiny test runs still reconfigure.
+        AlgoParams {
+            interval_cycles: 500_000,
+            ..AlgoParams::paper_single_core()
+        }
+    }
+
+    #[test]
+    fn baseline_runs_and_reports() {
+        let p = benchmark_by_name("gamess").unwrap();
+        let r = Simulator::single(quick(Technique::Baseline, 500_000), &p).run();
+        assert_eq!(r.per_core.len(), 1);
+        assert!(r.per_core[0].ipc > 0.1 && r.per_core[0].ipc < 4.0);
+        assert_eq!(r.active_ratio, 1.0, "baseline never reconfigures");
+        assert!(r.refreshes > 0, "baseline must refresh");
+        assert!(r.energy.total() > 0.0);
+        assert!(r.intervals.is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = benchmark_by_name("gcc").unwrap();
+        let a = Simulator::single(quick(Technique::Baseline, 300_000), &p).run();
+        let b = Simulator::single(quick(Technique::Baseline, 300_000), &p).run();
+        assert_eq!(a, b, "simulation must be bit-deterministic");
+    }
+
+    #[test]
+    fn esteem_reduces_active_ratio_and_refreshes() {
+        let p = benchmark_by_name("gamess").unwrap();
+        // Warm-up must cover the shrink-confirmation streak (3 intervals of
+        // 500k cycles) so the measured region sees the converged cache.
+        let mut base_cfg = quick(Technique::Baseline, 3_000_000);
+        base_cfg.warmup_cycles = 2_000_000;
+        let mut est_cfg = quick(Technique::Esteem(quick_algo()), 3_000_000);
+        est_cfg.warmup_cycles = 2_000_000;
+        let base = Simulator::single(base_cfg, &p).run();
+        let est = Simulator::single(est_cfg, &p).run();
+        assert!(
+            est.active_ratio < 0.6,
+            "gamess is tiny; ESTEEM should turn most ways off (got {})",
+            est.active_ratio
+        );
+        assert!(
+            est.refreshes < base.refreshes / 2,
+            "refreshes: esteem {} vs base {}",
+            est.refreshes,
+            base.refreshes
+        );
+        assert!(!est.intervals.is_empty());
+    }
+
+    #[test]
+    fn rpv_refreshes_less_than_baseline() {
+        let p = benchmark_by_name("gamess").unwrap();
+        let base = Simulator::single(quick(Technique::Baseline, 1_000_000), &p).run();
+        let rpv = Simulator::single(quick(Technique::Rpv, 1_000_000), &p).run();
+        assert!(rpv.refreshes < base.refreshes);
+        assert_eq!(rpv.active_ratio, 1.0, "RPV never turns the cache off");
+    }
+
+    #[test]
+    fn dual_core_runs_both_to_target() {
+        let a = benchmark_by_name("gobmk").unwrap();
+        let b = benchmark_by_name("nekbone").unwrap();
+        let mut cfg = SystemConfig::paper_dual_core(Technique::Baseline);
+        cfg.sim_instructions = 300_000;
+        cfg.warmup_cycles = 200_000;
+        let r = Simulator::new(cfg, &[a, b], "GkNe").run();
+        assert_eq!(r.per_core.len(), 2);
+        for c in &r.per_core {
+            assert_eq!(c.instructions, 300_000);
+            assert!(c.ipc > 0.05);
+        }
+    }
+
+    #[test]
+    fn ecc_refresh_technique_end_to_end() {
+        let p = benchmark_by_name("hmmer").unwrap();
+        let base = Simulator::single(quick(Technique::Baseline, 600_000), &p).run();
+        let ecc = Simulator::single(
+            quick(
+                Technique::EccRefresh {
+                    periods: 4,
+                    ecc_bits: 1,
+                },
+                600_000,
+            ),
+            &p,
+        )
+        .run();
+        // Refreshing every 4th period cuts refresh volume by roughly 4x
+        // (valid-only and scrubs move it a bit further).
+        assert!(
+            ecc.refreshes < base.refreshes / 2,
+            "ecc {} vs base {}",
+            ecc.refreshes,
+            base.refreshes
+        );
+        assert_eq!(ecc.active_ratio, 1.0, "ECC refresh never powers off");
+    }
+
+    #[test]
+    fn energy_inputs_consistent_with_counters() {
+        let p = benchmark_by_name("milc").unwrap();
+        let r = Simulator::single(quick(Technique::Baseline, 500_000), &p).run();
+        assert_eq!(r.inputs.l2_hits, r.l2_hits);
+        assert_eq!(r.inputs.l2_misses, r.l2_misses);
+        assert_eq!(r.inputs.refreshes, r.refreshes);
+        assert_eq!(r.inputs.mem_accesses, r.mem_accesses);
+        // Streaming: plenty of misses and memory traffic.
+        assert!(r.l2_misses > 1000);
+        assert!(r.mem_accesses >= r.l2_misses);
+    }
+}

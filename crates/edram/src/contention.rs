@@ -1,0 +1,216 @@
+//! Deterministic bank-contention timing model.
+//!
+//! The paper's performance effect of refresh flows through one mechanism:
+//! refresh operations occupy L2 banks, delaying demand accesses ("the same
+//! number of blocks need to be refreshed within smaller amount of time.
+//! These refresh operations also make the cache unavailable, leading to
+//! performance loss", §7.3). We model each bank as a deterministic server
+//! and charge every demand access an *expected* extra wait derived from the
+//! previous retention window's measured load:
+//!
+//! * **burst blocking** — hardware issues refreshes in short pipelined
+//!   bursts of `burst_lines` back-to-back single-cycle line refreshes
+//!   (DRAM-style tREFI batching). An access arriving during a burst waits
+//!   for its remainder: `wait_burst = rho_refresh * burst_lines / 2`, where
+//!   `rho_refresh` is the fraction of bank cycles spent refreshing.
+//! * **queueing** — an M/D/1-shaped term for contention among demand
+//!   accesses and refreshes: `wait_q = service * rho / (2 * (1 - rho))`
+//!   with `rho` the total bank utilization, capped below 1.
+//!
+//! Using the previous window's utilization keeps the model causal and
+//! deterministic (one-window lag; windows are one retention period, 100 us,
+//! far shorter than program phases). The first window sees zero wait.
+
+/// Per-bank contention state for one cache.
+#[derive(Debug, Clone)]
+pub struct BankContention {
+    window_cycles: u64,
+    /// Bank-busy cycles per demand access (tag + data array occupancy).
+    access_occupancy: f64,
+    /// Lines refreshed back-to-back per refresh burst.
+    burst_lines: f64,
+    /// Utilization cap to keep the queueing term finite.
+    util_cap: f64,
+    /// Demand accesses per bank in the current (accumulating) window.
+    cur_accesses: Vec<u64>,
+    /// Extra wait per access, per bank, derived from the last window.
+    wait: Vec<f64>,
+    /// Utilization per bank from the last window (diagnostics).
+    last_util: Vec<f64>,
+    next_boundary: u64,
+}
+
+impl BankContention {
+    /// `window_cycles` is the measurement window — one retention period.
+    pub fn new(banks: u8, window_cycles: u64) -> Self {
+        assert!(window_cycles > 0);
+        Self {
+            window_cycles,
+            access_occupancy: 2.0,
+            burst_lines: 64.0,
+            util_cap: 0.98,
+            cur_accesses: vec![0; banks as usize],
+            wait: vec![0.0; banks as usize],
+            last_util: vec![0.0; banks as usize],
+            next_boundary: window_cycles,
+        }
+    }
+
+    /// Overrides the model's structural constants (exposed for ablations).
+    pub fn with_params(mut self, access_occupancy: f64, burst_lines: f64) -> Self {
+        assert!(access_occupancy > 0.0 && burst_lines >= 1.0);
+        self.access_occupancy = access_occupancy;
+        self.burst_lines = burst_lines;
+        self
+    }
+
+    /// Records one demand access and returns the modelled extra wait (in
+    /// cycles, possibly fractional) the access suffers at this bank.
+    #[inline]
+    pub fn access(&mut self, bank: u8) -> f64 {
+        self.cur_accesses[bank as usize] += 1;
+        self.wait[bank as usize]
+    }
+
+    /// Current modelled wait without recording an access.
+    #[inline]
+    pub fn peek_wait(&self, bank: u8) -> f64 {
+        self.wait[bank as usize]
+    }
+
+    /// Closes windows up to `now`, folding in the per-bank refresh counts
+    /// accumulated over the same span (from
+    /// [`RefreshEngine::drain_bank_refreshes`](crate::RefreshEngine::drain_bank_refreshes)).
+    ///
+    /// Call exactly once per window with `now` at (or past) the boundary.
+    pub fn roll_window(&mut self, now: u64, bank_refreshes: &[u64]) {
+        assert_eq!(bank_refreshes.len(), self.cur_accesses.len());
+        if now < self.next_boundary {
+            return;
+        }
+        // Windows elapsed since last roll (usually exactly 1).
+        let mut windows = 0u64;
+        while self.next_boundary <= now {
+            self.next_boundary += self.window_cycles;
+            windows += 1;
+        }
+        let span = (windows * self.window_cycles) as f64;
+        for (b, &refreshes) in bank_refreshes.iter().enumerate() {
+            let acc = self.cur_accesses[b] as f64;
+            let refr = refreshes as f64;
+            let rho_refresh = (refr / span).min(self.util_cap);
+            let rho = ((acc * self.access_occupancy + refr) / span).min(self.util_cap);
+            let wait_burst = rho_refresh * self.burst_lines / 2.0;
+            // Effective service time seen by the queue: weighted mean of
+            // access and (unit) refresh service.
+            let total_ops = acc + refr;
+            let service = if total_ops > 0.0 {
+                (acc * self.access_occupancy + refr) / total_ops
+            } else {
+                self.access_occupancy
+            };
+            let wait_q = service * rho / (2.0 * (1.0 - rho));
+            self.wait[b] = wait_burst + wait_q;
+            self.last_util[b] = rho;
+            self.cur_accesses[b] = 0;
+        }
+    }
+
+    /// Mean bank utilization over the last closed window.
+    pub fn mean_utilization(&self) -> f64 {
+        self.last_util.iter().sum::<f64>() / self.last_util.len() as f64
+    }
+
+    /// Mean modelled wait across banks (diagnostics/reporting).
+    pub fn mean_wait(&self) -> f64 {
+        self.wait.iter().sum::<f64>() / self.wait.len() as f64
+    }
+
+    pub fn window_cycles(&self) -> u64 {
+        self.window_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_window_is_free() {
+        let mut c = BankContention::new(4, 1000);
+        assert_eq!(c.access(0), 0.0);
+        assert_eq!(c.access(3), 0.0);
+    }
+
+    #[test]
+    fn refresh_load_creates_wait() {
+        let mut c = BankContention::new(1, 100_000);
+        // 16384 refreshes in a 100k-cycle window (the paper's 4MB/4-bank
+        // baseline at 50us): rho_refresh ~= 0.164.
+        c.roll_window(100_000, &[16_384]);
+        let w = c.peek_wait(0);
+        // Burst term alone: 0.164 * 64 / 2 ~= 5.2 cycles.
+        assert!(w > 4.0 && w < 8.0, "wait {w} out of expected band");
+    }
+
+    #[test]
+    fn more_refreshes_more_wait() {
+        let mut a = BankContention::new(1, 100_000);
+        let mut b = BankContention::new(1, 100_000);
+        a.roll_window(100_000, &[10_000]);
+        b.roll_window(100_000, &[60_000]);
+        assert!(b.peek_wait(0) > a.peek_wait(0) * 3.0);
+    }
+
+    #[test]
+    fn utilization_capped() {
+        let mut c = BankContention::new(1, 1000);
+        c.roll_window(1000, &[10_000_000]); // impossible load
+        assert!(c.mean_utilization() <= 0.98 + 1e-9);
+        assert!(c.peek_wait(0).is_finite());
+    }
+
+    #[test]
+    fn accesses_contribute_to_queueing() {
+        let mut idle = BankContention::new(1, 10_000);
+        let mut busy = BankContention::new(1, 10_000);
+        for _ in 0..4000 {
+            busy.access(0);
+        }
+        idle.roll_window(10_000, &[1000]);
+        busy.roll_window(10_000, &[1000]);
+        assert!(busy.peek_wait(0) > idle.peek_wait(0));
+    }
+
+    #[test]
+    fn window_resets_access_counts() {
+        let mut c = BankContention::new(1, 1000);
+        for _ in 0..900 {
+            c.access(0);
+        }
+        c.roll_window(1000, &[0]);
+        let w1 = c.peek_wait(0);
+        assert!(w1 > 0.0);
+        // No load in the second window: wait decays back to zero.
+        c.roll_window(2000, &[0]);
+        assert_eq!(c.peek_wait(0), 0.0);
+    }
+
+    #[test]
+    fn multi_window_catchup() {
+        let mut c = BankContention::new(2, 1000);
+        c.access(0);
+        // Roll across 3 windows at once; span normalisation keeps rho sane.
+        c.roll_window(3000, &[300, 0]);
+        assert!(c.peek_wait(0) >= 0.0);
+        assert_eq!(c.window_cycles(), 1000);
+    }
+
+    #[test]
+    fn early_roll_is_noop() {
+        let mut c = BankContention::new(1, 1000);
+        c.access(0);
+        c.roll_window(500, &[100]);
+        assert_eq!(c.peek_wait(0), 0.0); // window not yet closed
+    }
+}

@@ -1,0 +1,429 @@
+//! The refresh engine: drives a [`RefreshPolicy`] against a cache array.
+//!
+//! The engine is advanced to the current cycle once per simulation quantum
+//! (the system simulator's outer loop). Between advances, the simulator
+//! reports every charge-restoring demand event via [`RefreshEngine::on_access`]
+//! and every invalidation via [`RefreshEngine::on_invalidate`] so the
+//! polyphase schedule stays consistent with the cache contents.
+//!
+//! Each bank refreshes one line per cycle (pipelined, paper §6.1), so a
+//! refresh op costs the bank exactly one cycle of availability; the counts
+//! produced here feed both the energy model (`N_R`) and the
+//! [`BankContention`](crate::BankContention) timing model.
+
+use esteem_cache::{AccessOutcome, SetAssocCache};
+
+use crate::errors::RetentionVariation;
+use crate::policy::RefreshPolicy;
+use crate::retention::RetentionSpec;
+use crate::scheduler::{DueAction, PolyphaseScheduler};
+
+/// Refresh/invalidation work performed by one `advance` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdvanceReport {
+    pub refreshes: u64,
+    /// Lines invalidated instead of refreshed: RPD's eager invalidations
+    /// and multi-periodic's uncorrectable-failure scrubs.
+    pub invalidations: u64,
+}
+
+#[derive(Debug, Clone)]
+pub struct RefreshEngine {
+    policy: RefreshPolicy,
+    retention: RetentionSpec,
+    ways: u8,
+    sched: Option<PolyphaseScheduler>,
+    /// Retention-variation model (multi-periodic policy only).
+    variation: RetentionVariation,
+    /// Next period boundary (periodic policies).
+    next_period_end: u64,
+    /// Per-bank refresh ops since the last [`Self::drain_bank_refreshes`].
+    bank_window: Vec<u64>,
+    total_refreshes: u64,
+    total_invalidations: u64,
+}
+
+impl RefreshEngine {
+    pub fn new(policy: RefreshPolicy, retention: RetentionSpec, cache: &SetAssocCache) -> Self {
+        let g = *cache.geometry();
+        let sched = if policy.is_polyphase() {
+            Some(PolyphaseScheduler::new(
+                retention.period_cycles,
+                policy.phases(),
+                g.total_slots(),
+            ))
+        } else {
+            None
+        };
+        let first_period = match policy {
+            RefreshPolicy::MultiPeriodic { periods, .. } => {
+                retention.period_cycles * u64::from(periods.max(1))
+            }
+            _ => retention.period_cycles,
+        };
+        Self {
+            policy,
+            retention,
+            ways: g.ways,
+            sched,
+            variation: RetentionVariation::default(),
+            next_period_end: first_period,
+            bank_window: vec![0; g.banks as usize],
+            total_refreshes: 0,
+            total_invalidations: 0,
+        }
+    }
+
+    pub fn policy(&self) -> RefreshPolicy {
+        self.policy
+    }
+
+    /// Overrides the retention-variation model (multi-periodic policy).
+    pub fn with_variation(mut self, variation: RetentionVariation) -> Self {
+        self.variation = variation;
+        self
+    }
+
+    #[inline]
+    fn line_id(&self, set: u32, way: u8) -> u32 {
+        set * u32::from(self.ways) + u32::from(way)
+    }
+
+    /// Reports a demand access (hit or fill): reads and writes restore the
+    /// cell charge, which postpones the line's next polyphase refresh.
+    #[inline]
+    pub fn on_access(&mut self, outcome: &AccessOutcome, cycle: u64) {
+        let id = self.line_id_outcome(outcome);
+        if let Some(sched) = &mut self.sched {
+            sched.touch(id, cycle);
+        }
+    }
+
+    #[inline]
+    fn line_id_outcome(&self, o: &AccessOutcome) -> u32 {
+        o.set * u32::from(self.ways) + u32::from(o.way)
+    }
+
+    /// Reports an invalidation performed outside the engine (way turn-off
+    /// during reconfiguration): the line no longer needs refreshing.
+    #[inline]
+    pub fn on_invalidate(&mut self, set: u32, way: u8) {
+        let id = self.line_id(set, way);
+        if let Some(sched) = &mut self.sched {
+            sched.unschedule(id);
+        }
+    }
+
+    /// Advances refresh processing to `to_cycle`, performing every due
+    /// refresh. For periodic policies this fires at retention-period
+    /// boundaries; for polyphase policies at phase boundaries.
+    pub fn advance(&mut self, cache: &mut SetAssocCache, to_cycle: u64) -> AdvanceReport {
+        let mut report = AdvanceReport::default();
+        match self.policy {
+            RefreshPolicy::NoRefresh => {}
+            RefreshPolicy::PeriodicAll => {
+                while self.next_period_end <= to_cycle {
+                    // Every *active slot* is refreshed, valid or not.
+                    // Active slots stripe uniformly over banks (modules are
+                    // contiguous set ranges, banks stripe sets, and both
+                    // counts are powers of two), so distribute evenly.
+                    let slots = cache.active_slots();
+                    self.add_uniform(slots);
+                    report.refreshes += slots;
+                    self.next_period_end += self.retention.period_cycles;
+                }
+            }
+            RefreshPolicy::PeriodicValid => {
+                while self.next_period_end <= to_cycle {
+                    let per_bank: Vec<u64> = cache.valid_lines_per_bank().to_vec();
+                    for (b, n) in per_bank.iter().enumerate() {
+                        self.bank_window[b] += n;
+                        report.refreshes += n;
+                    }
+                    self.next_period_end += self.retention.period_cycles;
+                }
+            }
+            RefreshPolicy::MultiPeriodic { periods, ecc_bits } => {
+                let k = periods.max(1);
+                let stretch = self.retention.period_cycles * u64::from(k);
+                while self.next_period_end <= to_cycle {
+                    // Scrub pass over valid lines: refresh the survivors,
+                    // invalidate the (deterministic) uncorrectable ones.
+                    let g = *cache.geometry();
+                    let mut victims: Vec<(u32, u8)> = Vec::new();
+                    cache.for_each_valid(|set, way, _| {
+                        let line = set * u32::from(g.ways) + u32::from(way);
+                        if self.variation.line_fails(line, k, ecc_bits) {
+                            victims.push((set, way));
+                        } else {
+                            self.bank_window[g.bank_of(set) as usize] += 1;
+                            report.refreshes += 1;
+                        }
+                    });
+                    for (set, way) in victims {
+                        cache.invalidate_line(set, way);
+                        report.invalidations += 1;
+                    }
+                    self.next_period_end += stretch;
+                }
+            }
+            RefreshPolicy::PolyphaseValid { .. } => {
+                let sched = self.sched.as_mut().expect("polyphase has a scheduler");
+                let ways = u32::from(self.ways);
+                let banks = &mut self.bank_window;
+                sched.advance(to_cycle, |line, boundary| {
+                    let (set, way) = (line / ways, (line % ways) as u8);
+                    let l = cache.line_mut(set, way);
+                    if !l.valid {
+                        return DueAction::Drop;
+                    }
+                    l.last_update = boundary;
+                    banks[cache.geometry().bank_of(set) as usize] += 1;
+                    report.refreshes += 1;
+                    DueAction::Refreshed
+                });
+            }
+            RefreshPolicy::PolyphaseDirty { .. } => {
+                let sched = self.sched.as_mut().expect("polyphase has a scheduler");
+                let ways = u32::from(self.ways);
+                let banks = &mut self.bank_window;
+                sched.advance(to_cycle, |line, boundary| {
+                    let (set, way) = (line / ways, (line % ways) as u8);
+                    if !cache.line(set, way).valid {
+                        return DueAction::Drop;
+                    }
+                    if cache.line(set, way).dirty {
+                        cache.line_mut(set, way).last_update = boundary;
+                        banks[cache.geometry().bank_of(set) as usize] += 1;
+                        report.refreshes += 1;
+                        DueAction::Refreshed
+                    } else {
+                        // Clean and idle for a full period: drop it rather
+                        // than spend a refresh — a later miss refetches it.
+                        cache.invalidate_line(set, way);
+                        report.invalidations += 1;
+                        DueAction::Drop
+                    }
+                });
+            }
+        }
+        self.total_refreshes += report.refreshes;
+        self.total_invalidations += report.invalidations;
+        report
+    }
+
+    fn add_uniform(&mut self, total: u64) {
+        let b = self.bank_window.len() as u64;
+        let base = total / b;
+        let rem = (total % b) as usize;
+        for (i, w) in self.bank_window.iter_mut().enumerate() {
+            *w += base + u64::from(i < rem);
+        }
+    }
+
+    /// Per-bank refresh ops since the previous drain; resets the window.
+    /// The system simulator calls this at each contention-window boundary.
+    pub fn drain_bank_refreshes(&mut self) -> Vec<u64> {
+        let out = self.bank_window.clone();
+        self.bank_window.fill(0);
+        out
+    }
+
+    /// Lifetime refresh count (`N_R` deltas are taken from this).
+    pub fn total_refreshes(&self) -> u64 {
+        self.total_refreshes
+    }
+
+    pub fn total_invalidations(&self) -> u64 {
+        self.total_invalidations
+    }
+
+    pub fn retention(&self) -> RetentionSpec {
+        self.retention
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esteem_cache::CacheGeometry;
+
+    fn cache() -> SetAssocCache {
+        // 64 sets x 4 ways, 2 banks, 4 modules.
+        let g = CacheGeometry::from_capacity(16 << 10, 4, 64, 2, 4);
+        SetAssocCache::new(g, None)
+    }
+
+    fn ret(cycles: u64) -> RetentionSpec {
+        RetentionSpec {
+            period_cycles: cycles,
+        }
+    }
+
+    #[test]
+    fn periodic_all_refreshes_every_slot() {
+        let mut c = cache();
+        let mut e = RefreshEngine::new(RefreshPolicy::PeriodicAll, ret(1000), &c);
+        let r = e.advance(&mut c, 3000);
+        // 3 periods x 256 slots.
+        assert_eq!(r.refreshes, 3 * 256);
+        let banks = e.drain_bank_refreshes();
+        assert_eq!(banks, vec![384, 384]);
+    }
+
+    #[test]
+    fn periodic_all_scales_with_active_slots() {
+        let mut c = cache();
+        for m in 0..4 {
+            c.set_module_active_ways(m, 1, 0);
+        }
+        let mut e = RefreshEngine::new(RefreshPolicy::PeriodicAll, ret(1000), &c);
+        let r = e.advance(&mut c, 1000);
+        assert_eq!(r.refreshes, c.active_slots());
+        assert_eq!(r.refreshes, 64); // 64 sets x 1 way, no leaders
+    }
+
+    #[test]
+    fn periodic_valid_refreshes_only_valid() {
+        let mut c = cache();
+        // Fill 10 lines.
+        for t in 0..10u64 {
+            c.access(c.geometry().block_of(t + 1, (t % 64) as u32), false, 0);
+        }
+        let mut e = RefreshEngine::new(RefreshPolicy::PeriodicValid, ret(1000), &c);
+        let r = e.advance(&mut c, 1000);
+        assert_eq!(r.refreshes, 10);
+    }
+
+    #[test]
+    fn no_refresh_does_nothing() {
+        let mut c = cache();
+        c.access(42, true, 0);
+        let mut e = RefreshEngine::new(RefreshPolicy::NoRefresh, ret(100), &c);
+        assert_eq!(e.advance(&mut c, 1_000_000), AdvanceReport::default());
+    }
+
+    #[test]
+    fn rpv_skips_retouched_lines() {
+        let mut c = cache();
+        let mut e = RefreshEngine::new(RefreshPolicy::RPV, ret(1000), &c);
+        let b = c.geometry().block_of(7, 3);
+        let o = c.access(b, false, 10);
+        e.on_access(&o, 10);
+        // Keep touching the line every 400 cycles: it must never be
+        // refreshed, because every touch restores the charge.
+        let mut cycle = 10;
+        for _ in 0..10 {
+            cycle += 400;
+            let r = e.advance(&mut c, cycle);
+            assert_eq!(r.refreshes, 0, "retouched line refreshed at {cycle}");
+            let o = c.access(b, false, cycle);
+            e.on_access(&o, cycle);
+        }
+        // Stop touching: exactly one refresh per retention period follows.
+        let r = e.advance(&mut c, cycle + 3000);
+        assert!(r.refreshes >= 2 && r.refreshes <= 3, "got {}", r.refreshes);
+    }
+
+    #[test]
+    fn rpv_refreshes_idle_valid_line_each_period() {
+        let mut c = cache();
+        let mut e = RefreshEngine::new(RefreshPolicy::RPV, ret(1000), &c);
+        let o = c.access(c.geometry().block_of(9, 1), true, 0);
+        e.on_access(&o, 0);
+        let r = e.advance(&mut c, 5000);
+        assert_eq!(r.refreshes, 5);
+        // last_update advanced by the refreshes.
+        assert!(c.line(o.set, o.way).last_update >= 4000);
+    }
+
+    #[test]
+    fn rpv_drops_evicted_lines() {
+        let mut c = cache();
+        let mut e = RefreshEngine::new(RefreshPolicy::RPV, ret(1000), &c);
+        let set = 5u32;
+        // Fill the set's 4 ways then evict the first by a 5th block.
+        for t in 1..=5u64 {
+            let o = c.access(c.geometry().block_of(t, set), false, t);
+            e.on_access(&o, t);
+        }
+        // 4 valid lines remain; one refresh each per period.
+        let r = e.advance(&mut c, 1100);
+        assert_eq!(r.refreshes, 4);
+    }
+
+    #[test]
+    fn rpd_invalidates_clean_refreshes_dirty() {
+        let mut c = cache();
+        let mut e = RefreshEngine::new(RefreshPolicy::RPD, ret(1000), &c);
+        let clean = c.access(c.geometry().block_of(1, 0), false, 0);
+        let dirty = c.access(c.geometry().block_of(1, 1), true, 0);
+        e.on_access(&clean, 0);
+        e.on_access(&dirty, 0);
+        let r = e.advance(&mut c, 1000);
+        assert_eq!(r.refreshes, 1);
+        assert_eq!(r.invalidations, 1);
+        assert!(!c.line(clean.set, clean.way).valid);
+        assert!(c.line(dirty.set, dirty.way).valid);
+        // The dirty line keeps being refreshed each period.
+        let r = e.advance(&mut c, 3000);
+        assert_eq!(r.refreshes, 2);
+        assert_eq!(r.invalidations, 0);
+    }
+
+    #[test]
+    fn reconfig_invalidation_unschedules() {
+        let mut c = cache();
+        let mut e = RefreshEngine::new(RefreshPolicy::RPV, ret(1000), &c);
+        let o = c.access(c.geometry().block_of(3, 9), false, 0);
+        e.on_access(&o, 0);
+        c.invalidate_line(o.set, o.way);
+        e.on_invalidate(o.set, o.way);
+        assert_eq!(e.advance(&mut c, 10_000).refreshes, 0);
+    }
+
+    #[test]
+    fn multi_periodic_stretches_interval_and_scrubs() {
+        let mut c = cache();
+        // Fill 200 lines.
+        for t in 0..200u64 {
+            c.access(c.geometry().block_of(t / 64 + 1, (t % 64) as u32), false, 0);
+        }
+        let mut e = RefreshEngine::new(
+            RefreshPolicy::MultiPeriodic {
+                periods: 4,
+                ecc_bits: 0,
+            },
+            ret(1000),
+            &c,
+        )
+        .with_variation(crate::errors::RetentionVariation {
+            weak_ppm: 100_000.0, // exaggerated so scrubs occur in 200 lines
+            ..Default::default()
+        });
+        // Nothing happens for the first 3 nominal periods.
+        assert_eq!(e.advance(&mut c, 3999), AdvanceReport::default());
+        // At 4 periods: survivors refreshed, weak lines scrubbed.
+        let r = e.advance(&mut c, 4000);
+        assert!(r.refreshes > 0);
+        assert!(r.invalidations > 0, "exaggerated variation must scrub");
+        assert_eq!(r.refreshes + r.invalidations, 200);
+        // Scrubbed lines are genuinely invalid now.
+        assert_eq!(c.valid_lines(), r.refreshes);
+        // A full cycle refreshes 4x less often than periodic-valid would.
+        let r2 = e.advance(&mut c, 8000);
+        assert_eq!(r2.refreshes + r2.invalidations, c.valid_lines());
+    }
+
+    #[test]
+    fn bank_window_drains() {
+        let mut c = cache();
+        let mut e = RefreshEngine::new(RefreshPolicy::PeriodicAll, ret(1000), &c);
+        e.advance(&mut c, 1000);
+        let w1 = e.drain_bank_refreshes();
+        assert_eq!(w1.iter().sum::<u64>(), 256);
+        let w2 = e.drain_bank_refreshes();
+        assert_eq!(w2.iter().sum::<u64>(), 0);
+        assert_eq!(e.total_refreshes(), 256);
+    }
+}

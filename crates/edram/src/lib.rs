@@ -1,0 +1,47 @@
+//! Embedded-DRAM retention and refresh modelling for the ESTEEM (HPDC'14)
+//! reproduction.
+//!
+//! eDRAM cells store data as charge and must be *refreshed* before their
+//! retention period expires (tens of microseconds — roughly 1000x shorter
+//! than commodity DRAM). The paper's evaluation hinges on three properties
+//! this crate models:
+//!
+//! 1. **Refresh volume** — how many line refreshes each policy performs per
+//!    retention window ([`RefreshEngine`], [`RefreshPolicy`]). This drives
+//!    the refresh-energy term `RE_L2 = N_R * E_dyn` and the RPKI metric.
+//! 2. **Refresh interference** — refresh operations occupy cache banks and
+//!    delay demand accesses ("these refresh operations also make the cache
+//!    unavailable, leading to performance loss", paper §7.3). Modelled by
+//!    [`BankContention`] as deterministic burst-blocking + queueing.
+//! 3. **Retention physics** — the retention period's exponential dependence
+//!    on temperature ([`retention`]), anchored at the paper's data points
+//!    (40 us at 105 C from Barth et al.; 50 us assumed at 60 C).
+//!
+//! Policies implemented (paper §6.2 and Refrint, HPCA'13):
+//! * `PeriodicAll` — the paper's **baseline**: every active line slot is
+//!   refreshed every retention period, valid or not.
+//! * `PeriodicValid` — only valid lines are refreshed each period. This is
+//!   what ESTEEM uses inside the active portion of the cache.
+//! * `PolyphaseValid` (**RPV**) — the retention period is divided into `P`
+//!   phases; a block's refresh is aligned to the phase of its last update
+//!   and skipped entirely while the block keeps getting accessed (an eDRAM
+//!   read/write internally restores the charge).
+//! * `PolyphaseDirty` (**RPD**) — like RPV, but when a *clean* block comes
+//!   due it is invalidated instead of refreshed (described in the paper,
+//!   excluded from its evaluation; we implement it for completeness).
+//! * `NoRefresh` — ideal lower bound, for ablation only.
+//! * `MultiPeriodic` — ECC-assisted refresh-period extension (the paper's
+//!   related-work family [39, 45]); see [`errors`].
+
+pub mod contention;
+pub mod engine;
+pub mod errors;
+pub mod policy;
+pub mod retention;
+pub mod scheduler;
+
+pub use contention::BankContention;
+pub use engine::{AdvanceReport, RefreshEngine};
+pub use errors::RetentionVariation;
+pub use policy::RefreshPolicy;
+pub use retention::RetentionSpec;

@@ -1,0 +1,92 @@
+//! Refresh policy taxonomy.
+
+/// Which lines get refreshed, and when (see the crate docs for the policy
+/// semantics and their provenance in the paper / Refrint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshPolicy {
+    /// No refresh at all. Ideal lower bound used only in ablations — a real
+    /// eDRAM cache would lose data.
+    NoRefresh,
+    /// Refresh every *active slot* every retention period, valid or not.
+    /// The paper's baseline.
+    PeriodicAll,
+    /// Refresh every *valid line* every retention period. Used by ESTEEM
+    /// within the active portion of the cache.
+    PeriodicValid,
+    /// Refrint polyphase-valid (RPV): per-line refresh aligned to the phase
+    /// of the line's last update, skipped while the line keeps being
+    /// accessed. `phases` is the paper's `P` (4 in the evaluation).
+    PolyphaseValid { phases: u8 },
+    /// Refrint polyphase-dirty (RPD): like RPV, but a *clean* line due for
+    /// refresh is invalidated instead of refreshed.
+    PolyphaseDirty { phases: u8 },
+    /// ECC-assisted refresh-period extension (related-work family \[39,45\]):
+    /// valid lines are refreshed every `periods` retention periods, with
+    /// `ecc_bits` of per-line correction; lines whose weak cells don't
+    /// survive the stretched interval are invalidated at scrub time (see
+    /// [`crate::errors`]).
+    MultiPeriodic { periods: u8, ecc_bits: u8 },
+}
+
+impl RefreshPolicy {
+    /// RPV with the paper's 4 phases.
+    pub const RPV: RefreshPolicy = RefreshPolicy::PolyphaseValid { phases: 4 };
+    /// RPD with 4 phases.
+    pub const RPD: RefreshPolicy = RefreshPolicy::PolyphaseDirty { phases: 4 };
+
+    /// Whether the policy needs per-line due tracking (a scheduler).
+    pub fn is_polyphase(&self) -> bool {
+        matches!(
+            self,
+            RefreshPolicy::PolyphaseValid { .. } | RefreshPolicy::PolyphaseDirty { .. }
+        )
+    }
+
+    pub fn phases(&self) -> u8 {
+        match self {
+            RefreshPolicy::PolyphaseValid { phases } | RefreshPolicy::PolyphaseDirty { phases } => {
+                *phases
+            }
+            _ => 1,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            RefreshPolicy::NoRefresh => "no-refresh",
+            RefreshPolicy::PeriodicAll => "periodic-all",
+            RefreshPolicy::PeriodicValid => "periodic-valid",
+            RefreshPolicy::PolyphaseValid { .. } => "polyphase-valid (RPV)",
+            RefreshPolicy::PolyphaseDirty { .. } => "polyphase-dirty (RPD)",
+            RefreshPolicy::MultiPeriodic { .. } => "multi-periodic (ECC)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy() {
+        assert!(RefreshPolicy::RPV.is_polyphase());
+        assert!(RefreshPolicy::RPD.is_polyphase());
+        assert!(!RefreshPolicy::PeriodicAll.is_polyphase());
+        assert!(!RefreshPolicy::MultiPeriodic {
+            periods: 4,
+            ecc_bits: 1
+        }
+        .is_polyphase());
+        assert_eq!(RefreshPolicy::RPV.phases(), 4);
+        assert_eq!(RefreshPolicy::PeriodicValid.phases(), 1);
+        assert_eq!(RefreshPolicy::RPV.name(), "polyphase-valid (RPV)");
+        assert_eq!(
+            RefreshPolicy::MultiPeriodic {
+                periods: 4,
+                ecc_bits: 1
+            }
+            .name(),
+            "multi-periodic (ECC)"
+        );
+    }
+}

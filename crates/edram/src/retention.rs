@@ -1,0 +1,71 @@
+//! Retention period physics.
+
+/// Retention specification of the eDRAM array, in core clock cycles.
+///
+/// The paper runs at 2 GHz, so 50 us = 100_000 cycles and 40 us = 80_000.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionSpec {
+    pub period_cycles: u64,
+}
+
+impl RetentionSpec {
+    /// From a period in microseconds and a clock in GHz.
+    pub fn from_micros(micros: f64, clock_ghz: f64) -> Self {
+        let cycles = (micros * clock_ghz * 1000.0).round();
+        assert!(cycles >= 1.0, "retention must be at least one cycle");
+        Self {
+            period_cycles: cycles as u64,
+        }
+    }
+
+    /// The paper's default: 50 us at 2 GHz.
+    pub fn paper_default() -> Self {
+        Self::from_micros(50.0, 2.0)
+    }
+
+    pub fn period_seconds(&self, clock_hz: f64) -> f64 {
+        self.period_cycles as f64 / clock_hz
+    }
+}
+
+/// Retention period (microseconds) as a function of die temperature, in
+/// degrees Celsius.
+///
+/// Retention is exponentially dependent on temperature (paper §6.1, citing
+/// Refrint). We anchor the exponential at the paper's two operating points:
+/// 40 us at 105 C (Barth et al., measured) and 50 us at 60 C (the paper's
+/// working assumption). Those anchors give
+/// `t_ret(T) = 40us * exp(k * (105 - T))` with `k = ln(50/40)/45`.
+pub fn retention_micros_at_temp(celsius: f64) -> f64 {
+    let k = (50.0f64 / 40.0).ln() / 45.0;
+    40.0 * (k * (105.0 - celsius)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_operating_points() {
+        assert!((retention_micros_at_temp(105.0) - 40.0).abs() < 1e-9);
+        assert!((retention_micros_at_temp(60.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn colder_is_longer() {
+        assert!(retention_micros_at_temp(30.0) > retention_micros_at_temp(90.0));
+    }
+
+    #[test]
+    fn cycles_at_2ghz() {
+        assert_eq!(RetentionSpec::from_micros(50.0, 2.0).period_cycles, 100_000);
+        assert_eq!(RetentionSpec::from_micros(40.0, 2.0).period_cycles, 80_000);
+        assert_eq!(RetentionSpec::paper_default().period_cycles, 100_000);
+    }
+
+    #[test]
+    fn period_seconds() {
+        let r = RetentionSpec::paper_default();
+        assert!((r.period_seconds(2.0e9) - 50e-6).abs() < 1e-12);
+    }
+}

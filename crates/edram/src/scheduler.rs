@@ -1,0 +1,254 @@
+//! Lazy calendar queue for polyphase (per-line) refresh scheduling.
+//!
+//! Refrint's polyphase policies track, per line, the *phase* of the
+//! retention period in which the line was last updated, and refresh the
+//! line at the start of that phase in the next retention period. We
+//! implement this with a ring of phase-boundary buckets holding line ids:
+//!
+//! * `touch(line, cycle)` computes the line's next due boundary
+//!   (`phase_floor(cycle) + retention`) and pushes the line into that
+//!   boundary's bucket;
+//! * re-touching a line simply *overwrites* its authoritative due cycle;
+//!   the superseded bucket entry becomes stale and is filtered when its
+//!   bucket is drained (lazy deletion — O(1) per touch, no search);
+//! * `advance(to)` drains every boundary bucket up to `to`, invoking the
+//!   policy callback for entries whose due cycle still matches.
+//!
+//! All due cycles are multiples of the phase length, so a bucket maps to
+//! exactly one boundary at a time as long as the ring spans more than one
+//! retention period (`ring_len = 2 * phases + 2`).
+
+/// What the policy callback decided for a due line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DueAction {
+    /// The line was refreshed; reschedule one retention period later.
+    Refreshed,
+    /// The line no longer needs scheduling (invalid, invalidated by RPD,
+    /// or superseded).
+    Drop,
+}
+
+/// Sentinel meaning "not scheduled".
+const UNSCHEDULED: u64 = u64::MAX;
+
+#[derive(Debug, Clone)]
+pub struct PolyphaseScheduler {
+    phase_len: u64,
+    retention: u64,
+    ring: Vec<Vec<u32>>,
+    /// Authoritative due cycle per line id (`UNSCHEDULED` if none).
+    due: Vec<u64>,
+    /// Next phase boundary not yet processed.
+    next_boundary: u64,
+}
+
+impl PolyphaseScheduler {
+    pub fn new(retention_cycles: u64, phases: u8, total_lines: u64) -> Self {
+        assert!(phases >= 1, "at least one phase");
+        assert!(
+            retention_cycles.is_multiple_of(u64::from(phases)),
+            "retention ({retention_cycles}) must be a multiple of the phase count ({phases})"
+        );
+        let phase_len = retention_cycles / u64::from(phases);
+        let ring_len = (2 * phases as usize) + 2;
+        Self {
+            phase_len,
+            retention: retention_cycles,
+            ring: vec![Vec::new(); ring_len],
+            due: vec![UNSCHEDULED; total_lines as usize],
+            next_boundary: phase_len,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, due: u64) -> usize {
+        ((due / self.phase_len) % self.ring.len() as u64) as usize
+    }
+
+    /// Records a charge-restoring event (fill, hit, refresh) on `line` at
+    /// `cycle`; the line's next refresh is due at the start of this phase,
+    /// one retention period later.
+    pub fn touch(&mut self, line: u32, cycle: u64) {
+        let due = (cycle / self.phase_len) * self.phase_len + self.retention;
+        if self.due[line as usize] == due {
+            return; // re-touched within the same phase: already queued
+        }
+        self.due[line as usize] = due;
+        let b = self.bucket_of(due);
+        self.ring[b].push(line);
+    }
+
+    /// Removes a line from consideration (it was invalidated). Lazy: the
+    /// bucket entry stays and is filtered at drain time.
+    pub fn unschedule(&mut self, line: u32) {
+        self.due[line as usize] = UNSCHEDULED;
+    }
+
+    /// Currently scheduled due cycle of a line (for tests/invariants).
+    pub fn due_of(&self, line: u32) -> Option<u64> {
+        match self.due[line as usize] {
+            UNSCHEDULED => None,
+            d => Some(d),
+        }
+    }
+
+    /// Processes all phase boundaries `<= to`, calling `on_due(line,
+    /// boundary)` for every line genuinely due. A `Refreshed` answer
+    /// reschedules the line one retention period later; `Drop` unschedules.
+    pub fn advance(&mut self, to: u64, mut on_due: impl FnMut(u32, u64) -> DueAction) {
+        while self.next_boundary <= to {
+            let boundary = self.next_boundary;
+            let b = self.bucket_of(boundary);
+            let entries = std::mem::take(&mut self.ring[b]);
+            for line in entries {
+                if self.due[line as usize] != boundary {
+                    continue; // stale (re-touched or unscheduled)
+                }
+                match on_due(line, boundary) {
+                    DueAction::Refreshed => {
+                        let due = boundary + self.retention;
+                        self.due[line as usize] = due;
+                        let nb = self.bucket_of(due);
+                        self.ring[nb].push(line);
+                    }
+                    DueAction::Drop => {
+                        self.due[line as usize] = UNSCHEDULED;
+                    }
+                }
+            }
+            self.next_boundary += self.phase_len;
+        }
+    }
+
+    pub fn phase_len(&self) -> u64 {
+        self.phase_len
+    }
+
+    /// Total queued entries including stale ones (memory watermark, tests).
+    pub fn queued_entries(&self) -> usize {
+        self.ring.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn collect_refreshes(sched: &mut PolyphaseScheduler, to: u64) -> Vec<(u32, u64)> {
+        let mut out = Vec::new();
+        sched.advance(to, |line, at| {
+            out.push((line, at));
+            DueAction::Refreshed
+        });
+        out
+    }
+
+    #[test]
+    fn untouched_line_never_refreshed() {
+        let mut s = PolyphaseScheduler::new(100, 4, 8);
+        let r = collect_refreshes(&mut s, 1000);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn touched_line_refreshed_once_per_period() {
+        let mut s = PolyphaseScheduler::new(100, 4, 8);
+        s.touch(3, 10); // phase 0 -> due at 100
+        let r = collect_refreshes(&mut s, 350);
+        // Due at 100, then rescheduled 200, 300.
+        assert_eq!(r, vec![(3, 100), (3, 200), (3, 300)]);
+    }
+
+    #[test]
+    fn phase_alignment() {
+        let mut s = PolyphaseScheduler::new(100, 4, 8);
+        s.touch(1, 60); // phase 2 (cycles 50..75) -> due at 150
+        let r = collect_refreshes(&mut s, 160);
+        assert_eq!(r, vec![(1, 150)]);
+    }
+
+    #[test]
+    fn retouch_postpones_refresh() {
+        let mut s = PolyphaseScheduler::new(100, 4, 8);
+        s.touch(5, 10); // due 100
+                        // Advance to 90, then re-touch at 95 (phase 3) -> due moves to 175.
+        let r = collect_refreshes(&mut s, 90);
+        assert!(r.is_empty());
+        s.touch(5, 95);
+        let r = collect_refreshes(&mut s, 174);
+        assert!(r.is_empty(), "refresh at 100 must have been skipped");
+        let r = collect_refreshes(&mut s, 175);
+        assert_eq!(r, vec![(5, 175)]);
+    }
+
+    #[test]
+    fn unschedule_cancels() {
+        let mut s = PolyphaseScheduler::new(100, 4, 8);
+        s.touch(2, 0);
+        s.unschedule(2);
+        assert!(collect_refreshes(&mut s, 500).is_empty());
+        assert_eq!(s.due_of(2), None);
+    }
+
+    #[test]
+    fn drop_action_stops_rescheduling() {
+        let mut s = PolyphaseScheduler::new(100, 4, 8);
+        s.touch(7, 0);
+        let mut calls = 0;
+        s.advance(400, |_, _| {
+            calls += 1;
+            DueAction::Drop
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the phase count")]
+    fn rejects_indivisible_retention() {
+        PolyphaseScheduler::new(101, 4, 8);
+    }
+
+    proptest! {
+        /// Safety: with a Refreshed answer to every due event, the gap
+        /// between consecutive charge-restoring events of a line never
+        /// exceeds one retention period plus one phase (the worst-case
+        /// deferral of phase-floor alignment is < one phase).
+        #[test]
+        fn retention_never_violated(
+            touches in proptest::collection::vec((0u32..16, 0u64..5_000), 1..300),
+        ) {
+            let retention = 400u64;
+            let phases = 4u64;
+            let mut s = PolyphaseScheduler::new(retention, phases as u8, 16);
+            let mut sorted = touches.clone();
+            sorted.sort_by_key(|&(_, c)| c);
+            let mut last_restore = [None::<u64>; 16];
+            let mut max_gap = 0u64;
+            let mut clock = 0u64;
+            let final_cycle = sorted.last().map(|&(_, c)| c).unwrap_or(0) + 3 * retention;
+            sorted.push((0, final_cycle)); // flush the schedule at the end
+            for (line, cycle) in sorted {
+                let cycle = cycle.max(clock);
+                // Drain due refreshes before this touch.
+                let lr = &mut last_restore;
+                let mg = &mut max_gap;
+                s.advance(cycle, |l, at| {
+                    if let Some(prev) = lr[l as usize] {
+                        *mg = (*mg).max(at - prev);
+                    }
+                    lr[l as usize] = Some(at);
+                    DueAction::Refreshed
+                });
+                s.touch(line, cycle);
+                last_restore[line as usize] = Some(cycle);
+                clock = cycle;
+            }
+            // Worst-case deferral from phase-floor alignment is < 1 phase.
+            prop_assert!(
+                max_gap <= retention + retention / phases,
+                "charge-restore gap {max_gap} exceeds retention bound"
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Memory-subsystem energy model and evaluation metrics for the ESTEEM
+//! (HPDC'14) reproduction.
+//!
+//! Implements the paper's §6.3 energy model verbatim:
+//!
+//! ```text
+//! E      = E_L2 + E_MM + E_Algo                       (2)
+//! E_L2   = LE_L2 + DE_L2 + RE_L2                      (3)
+//! LE_L2  = P_L2_leak * F_A * T                        (4)
+//! DE_L2  = E_L2_dyn * (2 * M_L2 + H_L2)               (5)
+//! RE_L2  = N_R * E_L2_dyn                             (6)
+//! E_MM   = P_MM_leak * T + E_MM_dyn * A_MM            (7)
+//! E_Algo = E_chi * N_L                                (8)
+//! ```
+//!
+//! with the CACTI-derived eDRAM constants of Table 2 ([`params::TABLE2`]),
+//! `E_MM_dyn` = 70 nJ, `P_MM_leak` = 0.18 W and `E_chi` = 2 pJ. A refresh
+//! of a line costs one dynamic access energy (following Refrint), and an
+//! L2 miss costs twice the dynamic energy of a hit.
+//!
+//! The evaluation metrics of §6.4 live in [`metrics`]: percentage energy
+//! saving, weighted speedup (eq. 9), fair speedup, RPKI/MPKI deltas and
+//! active ratio.
+
+pub mod metrics;
+pub mod model;
+pub mod params;
+
+pub use model::{EnergyBreakdown, EnergyInputs};
+pub use params::EnergyParams;

@@ -1,0 +1,148 @@
+//! Evaluation metrics (paper §6.4).
+
+/// Weighted speedup (eq. 9): mean over cores of `IPC_tech / IPC_base`.
+///
+/// Panics if the slices differ in length or any baseline IPC is zero.
+pub fn weighted_speedup(ipc_tech: &[f64], ipc_base: &[f64]) -> f64 {
+    assert_eq!(ipc_tech.len(), ipc_base.len());
+    assert!(!ipc_tech.is_empty());
+    let sum: f64 = ipc_tech
+        .iter()
+        .zip(ipc_base)
+        .map(|(&t, &b)| {
+            assert!(b > 0.0, "baseline IPC must be positive");
+            t / b
+        })
+        .sum();
+    sum / ipc_tech.len() as f64
+}
+
+/// Fair speedup: harmonic mean of per-core speedups,
+/// `N / sum(IPC_base_n / IPC_tech_n)`. The paper computes it to show the
+/// technique "does not cause unfairness" (§6.4).
+pub fn fair_speedup(ipc_tech: &[f64], ipc_base: &[f64]) -> f64 {
+    assert_eq!(ipc_tech.len(), ipc_base.len());
+    assert!(!ipc_tech.is_empty());
+    let denom: f64 = ipc_tech
+        .iter()
+        .zip(ipc_base)
+        .map(|(&t, &b)| {
+            assert!(t > 0.0, "technique IPC must be positive");
+            b / t
+        })
+        .sum();
+    ipc_tech.len() as f64 / denom
+}
+
+/// Events per kilo-instruction (used for RPKI and MPKI).
+pub fn per_kilo_instruction(events: u64, instructions: u64) -> f64 {
+    assert!(instructions > 0, "instructions must be positive");
+    events as f64 * 1000.0 / instructions as f64
+}
+
+/// Geometric mean; the paper averages speedups geometrically.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geometric mean needs positive values");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean; the paper averages the remaining metrics (which "can
+/// be zero or negative") arithmetically.
+pub fn arithmetic_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Energy-delay product (J*s). Lower is better; rewards techniques that
+/// save energy *without* losing time. Not reported by the paper, but the
+/// standard figure of merit for energy/performance trade-offs.
+pub fn energy_delay_product(energy_j: f64, seconds: f64) -> f64 {
+    assert!(energy_j >= 0.0 && seconds >= 0.0);
+    energy_j * seconds
+}
+
+/// ED^2P (J*s^2): weighs performance more heavily than EDP.
+pub fn energy_delay_squared(energy_j: f64, seconds: f64) -> f64 {
+    energy_delay_product(energy_j, seconds) * seconds
+}
+
+/// Percentage improvement of a technique's EDP over the baseline's
+/// (positive = better).
+pub fn edp_improvement_percent(
+    base_energy_j: f64,
+    base_seconds: f64,
+    tech_energy_j: f64,
+    tech_seconds: f64,
+) -> f64 {
+    let base = energy_delay_product(base_energy_j, base_seconds);
+    assert!(base > 0.0, "baseline EDP must be positive");
+    (base - energy_delay_product(tech_energy_j, tech_seconds)) / base * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ws_single_core_is_ratio() {
+        assert!((weighted_speedup(&[1.2], &[1.0]) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ws_averages_cores() {
+        let ws = weighted_speedup(&[1.5, 0.5], &[1.0, 1.0]);
+        assert!((ws - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fair_speedup_penalizes_imbalance() {
+        // Same WS but unfair: FS must be lower than WS.
+        let tech = [2.0, 0.5];
+        let base = [1.0, 1.0];
+        let ws = weighted_speedup(&tech, &base);
+        let fs = fair_speedup(&tech, &base);
+        assert!(fs < ws);
+        // Perfectly balanced: FS == WS.
+        let fs2 = fair_speedup(&[1.3, 1.3], &[1.0, 1.0]);
+        assert!((fs2 - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pki() {
+        assert!((per_kilo_instruction(500, 1_000_000) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn means() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((arithmetic_mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        // Geometric <= arithmetic (AM-GM).
+        let xs = [0.5, 1.5, 2.5];
+        assert!(geometric_mean(&xs) <= arithmetic_mean(&xs));
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline IPC")]
+    fn ws_rejects_zero_baseline() {
+        weighted_speedup(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn edp_family() {
+        assert!((energy_delay_product(2.0, 3.0) - 6.0).abs() < 1e-12);
+        assert!((energy_delay_squared(2.0, 3.0) - 18.0).abs() < 1e-12);
+        // Saving energy at equal time improves EDP by the energy ratio.
+        let imp = edp_improvement_percent(1.0, 1.0, 0.75, 1.0);
+        assert!((imp - 25.0).abs() < 1e-12);
+        // Saving energy but doubling runtime can lose EDP.
+        let imp2 = edp_improvement_percent(1.0, 1.0, 0.75, 2.0);
+        assert!(imp2 < 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Equations (2)–(8): energy accounting for one measurement span.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::EnergyParams;
+
+/// Measured activity over a span of `seconds` (an interval or a whole
+/// run). Field names follow the paper's notation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyInputs {
+    /// `T` — wall-clock span in seconds.
+    pub seconds: f64,
+    /// `F_A` — time-weighted active fraction of the L2 over the span
+    /// (1.0 for the baseline and RPV).
+    pub active_fraction: f64,
+    /// `H_L2` — L2 hits.
+    pub l2_hits: u64,
+    /// `M_L2` — L2 misses.
+    pub l2_misses: u64,
+    /// `N_R` — cache lines refreshed.
+    pub refreshes: u64,
+    /// `A_MM` — main-memory accesses (fills + write-backs).
+    pub mem_accesses: u64,
+    /// `N_L` — block power-state transitions (0 except for ESTEEM).
+    pub block_transitions: u64,
+}
+
+impl EnergyInputs {
+    pub fn add(&mut self, o: &EnergyInputs) {
+        self.seconds += o.seconds;
+        // `active_fraction` must be re-derived by the caller when merging;
+        // keep a time-weighted running mean here.
+        let t = self.seconds;
+        if t > 0.0 {
+            self.active_fraction =
+                (self.active_fraction * (t - o.seconds) + o.active_fraction * o.seconds) / t;
+        }
+        self.l2_hits += o.l2_hits;
+        self.l2_misses += o.l2_misses;
+        self.refreshes += o.refreshes;
+        self.mem_accesses += o.mem_accesses;
+        self.block_transitions += o.block_transitions;
+    }
+}
+
+/// Energy of one span, split by source. All values in Joules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// `LE_L2` — L2 leakage.
+    pub l2_leakage: f64,
+    /// `DE_L2` — L2 dynamic.
+    pub l2_dynamic: f64,
+    /// `RE_L2` — L2 refresh.
+    pub l2_refresh: f64,
+    /// Main-memory leakage part of `E_MM`.
+    pub mm_leakage: f64,
+    /// Main-memory dynamic part of `E_MM`.
+    pub mm_dynamic: f64,
+    /// `E_Algo`.
+    pub algo: f64,
+}
+
+impl EnergyBreakdown {
+    /// Evaluates equations (2)–(8).
+    pub fn compute(p: &EnergyParams, i: &EnergyInputs) -> Self {
+        debug_assert!((0.0..=1.0 + 1e-9).contains(&i.active_fraction));
+        Self {
+            l2_leakage: p.l2_leak_w * i.active_fraction * i.seconds,
+            l2_dynamic: p.l2_dyn_j * (2 * i.l2_misses + i.l2_hits) as f64,
+            l2_refresh: i.refreshes as f64 * p.l2_dyn_j,
+            mm_leakage: p.mm_leak_w * i.seconds,
+            mm_dynamic: p.mm_dyn_j * i.mem_accesses as f64,
+            algo: p.e_chi_j * i.block_transitions as f64,
+        }
+    }
+
+    /// `E_L2` (eq. 3).
+    pub fn l2_total(&self) -> f64 {
+        self.l2_leakage + self.l2_dynamic + self.l2_refresh
+    }
+
+    /// `E_MM` (eq. 7).
+    pub fn mm_total(&self) -> f64 {
+        self.mm_leakage + self.mm_dynamic
+    }
+
+    /// `E` (eq. 2) — total memory-subsystem energy.
+    pub fn total(&self) -> f64 {
+        self.l2_total() + self.mm_total() + self.algo
+    }
+
+    pub fn add(&mut self, o: &EnergyBreakdown) {
+        self.l2_leakage += o.l2_leakage;
+        self.l2_dynamic += o.l2_dynamic;
+        self.l2_refresh += o.l2_refresh;
+        self.mm_leakage += o.mm_leakage;
+        self.mm_dynamic += o.mm_dynamic;
+        self.algo += o.algo;
+    }
+}
+
+/// Percentage energy saved by `technique` relative to `baseline`
+/// (positive = saving).
+pub fn energy_saving_percent(baseline: f64, technique: f64) -> f64 {
+    assert!(baseline > 0.0, "baseline energy must be positive");
+    (baseline - technique) / baseline * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::EnergyParams;
+
+    fn params() -> EnergyParams {
+        EnergyParams::for_l2_capacity(4 << 20)
+    }
+
+    #[test]
+    fn equations_match_hand_computation() {
+        let p = params();
+        let i = EnergyInputs {
+            seconds: 0.01,
+            active_fraction: 0.5,
+            l2_hits: 1000,
+            l2_misses: 200,
+            refreshes: 5000,
+            mem_accesses: 300,
+            block_transitions: 40,
+        };
+        let b = EnergyBreakdown::compute(&p, &i);
+        assert!((b.l2_leakage - 0.116 * 0.5 * 0.01).abs() < 1e-12);
+        assert!((b.l2_dynamic - 0.212e-9 * 1400.0).abs() < 1e-15);
+        assert!((b.l2_refresh - 0.212e-9 * 5000.0).abs() < 1e-15);
+        assert!((b.mm_leakage - 0.18 * 0.01).abs() < 1e-12);
+        assert!((b.mm_dynamic - 70e-9 * 300.0).abs() < 1e-15);
+        assert!((b.algo - 2e-12 * 40.0).abs() < 1e-18);
+        let sum = b.l2_leakage + b.l2_dynamic + b.l2_refresh + b.mm_leakage + b.mm_dynamic + b.algo;
+        assert!((b.total() - sum).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_inputs_zero_energy() {
+        let b = EnergyBreakdown::compute(&params(), &EnergyInputs::default());
+        assert_eq!(b.total(), 0.0);
+    }
+
+    #[test]
+    fn saving_percent() {
+        assert!((energy_saving_percent(2.0, 1.5) - 25.0).abs() < 1e-12);
+        assert!(energy_saving_percent(1.0, 1.2) < 0.0);
+    }
+
+    #[test]
+    fn inputs_merge_time_weighted() {
+        let mut a = EnergyInputs {
+            seconds: 1.0,
+            active_fraction: 1.0,
+            ..Default::default()
+        };
+        let b = EnergyInputs {
+            seconds: 3.0,
+            active_fraction: 0.2,
+            l2_hits: 5,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert!((a.seconds - 4.0).abs() < 1e-12);
+        assert!((a.active_fraction - 0.4).abs() < 1e-12);
+        assert_eq!(a.l2_hits, 5);
+    }
+
+    #[test]
+    fn breakdown_add() {
+        let p = params();
+        let i = EnergyInputs {
+            seconds: 0.5,
+            active_fraction: 1.0,
+            l2_hits: 10,
+            l2_misses: 1,
+            refreshes: 7,
+            mem_accesses: 2,
+            block_transitions: 0,
+        };
+        let one = EnergyBreakdown::compute(&p, &i);
+        let mut two = one;
+        two.add(&one);
+        assert!((two.total() - 2.0 * one.total()).abs() < 1e-12);
+    }
+}

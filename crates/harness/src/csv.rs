@@ -1,0 +1,76 @@
+//! Minimal CSV writer for experiment exports (no quoting edge cases are
+//! needed: all emitted fields are numbers or identifier-like labels).
+
+use std::fmt::Write as _;
+
+/// Builds a CSV document row by row.
+#[derive(Debug, Default, Clone)]
+pub struct Csv {
+    out: String,
+    columns: usize,
+}
+
+impl Csv {
+    pub fn new(header: &[&str]) -> Self {
+        let mut c = Csv {
+            out: String::new(),
+            columns: header.len(),
+        };
+        c.raw_row(header.iter().map(|s| s.to_string()));
+        c
+    }
+
+    fn raw_row(&mut self, cells: impl Iterator<Item = String>) {
+        let mut n = 0;
+        for (i, cell) in cells.enumerate() {
+            debug_assert!(
+                !cell.contains(',') && !cell.contains('\n') && !cell.contains('"'),
+                "cell {cell:?} needs quoting, which this writer does not do"
+            );
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push_str(&cell);
+            n += 1;
+        }
+        assert_eq!(n, self.columns, "row width mismatch");
+        self.out.push('\n');
+    }
+
+    /// Appends a row of displayable cells.
+    pub fn row<D: std::fmt::Display>(&mut self, cells: &[D]) {
+        let mut rendered = Vec::with_capacity(cells.len());
+        for c in cells {
+            let mut s = String::new();
+            write!(s, "{c}").expect("write to String");
+            rendered.push(s);
+        }
+        self.raw_row(rendered.into_iter());
+    }
+
+    /// Finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_csv() {
+        let mut c = Csv::new(&["name", "x", "y"]);
+        c.row(&["a".to_string(), "1".into(), "2.5".into()]);
+        c.row(&["b".to_string(), "3".into(), "4.0".into()]);
+        let s = c.finish();
+        assert_eq!(s, "name,x,y\na,1,2.5\nb,3,4.0\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged() {
+        let mut c = Csv::new(&["a", "b"]);
+        c.row(&["only".to_string()]);
+    }
+}

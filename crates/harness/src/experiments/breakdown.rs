@@ -1,0 +1,119 @@
+//! Power-breakdown probe (not a paper artifact): per-component power for
+//! one workload under every technique. Used for calibration and by the
+//! `policy_explorer` example.
+
+use esteem_core::{SimReport, Simulator, Technique};
+use esteem_workloads::benchmark_by_name;
+use serde::{Deserialize, Serialize};
+
+use crate::tablefmt::{f, Table};
+use crate::{default_algo, single_core_cfg, Scale};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerRow {
+    pub technique: String,
+    pub seconds: f64,
+    pub l2_leak_w: f64,
+    pub l2_dyn_w: f64,
+    pub refresh_w: f64,
+    pub mm_leak_w: f64,
+    pub mm_dyn_w: f64,
+    pub total_w: f64,
+    pub energy_j: f64,
+    pub ipc: f64,
+    pub active_pct: f64,
+    pub a_mm: u64,
+    pub l2_writebacks: u64,
+    pub refreshes: u64,
+    pub invalidations: u64,
+}
+
+impl PowerRow {
+    pub fn from_report(r: &SimReport) -> Self {
+        let e = &r.energy;
+        let s = r.inputs.seconds.max(1e-12);
+        Self {
+            technique: r.technique.clone(),
+            seconds: r.inputs.seconds,
+            l2_leak_w: e.l2_leakage / s,
+            l2_dyn_w: e.l2_dynamic / s,
+            refresh_w: e.l2_refresh / s,
+            mm_leak_w: e.mm_leakage / s,
+            mm_dyn_w: e.mm_dynamic / s,
+            total_w: e.total() / s,
+            energy_j: e.total(),
+            ipc: r.per_core[0].ipc,
+            active_pct: r.active_ratio * 100.0,
+            a_mm: r.mem_accesses,
+            l2_writebacks: r.l2_writebacks,
+            refreshes: r.refreshes,
+            invalidations: r.refresh_invalidations,
+        }
+    }
+}
+
+/// Runs every technique (baseline, RPV, RPD, periodic-valid, ESTEEM) on
+/// one benchmark and reports per-component power.
+pub fn run(scale: Scale, benchmark: &str) -> Vec<PowerRow> {
+    let b = benchmark_by_name(benchmark).unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
+    let mut algo = default_algo(1);
+    algo.interval_cycles = scale.interval_cycles();
+    [
+        Technique::Baseline,
+        Technique::Rpv,
+        Technique::Rpd,
+        Technique::PeriodicValid,
+        Technique::EccRefresh {
+            periods: 4,
+            ecc_bits: 1,
+        },
+        Technique::Esteem(algo),
+    ]
+    .iter()
+    .map(|&t| {
+        let r = Simulator::single(single_core_cfg(t, scale, 50.0), &b).run();
+        PowerRow::from_report(&r)
+    })
+    .collect()
+}
+
+pub fn render(benchmark: &str, rows: &[PowerRow]) -> String {
+    let mut t = Table::new(&[
+        "technique",
+        "T(s)",
+        "L2leak",
+        "L2dyn",
+        "refresh",
+        "MMleak",
+        "MMdyn",
+        "total W",
+        "E (J)",
+        "IPC",
+        "Act%",
+        "A_MM",
+        "wb",
+        "N_R",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.technique.clone(),
+            f(r.seconds, 4),
+            f(r.l2_leak_w, 3),
+            f(r.l2_dyn_w, 3),
+            f(r.refresh_w, 3),
+            f(r.mm_leak_w, 3),
+            f(r.mm_dyn_w, 3),
+            f(r.total_w, 3),
+            f(r.energy_j, 4),
+            f(r.ipc, 3),
+            f(r.active_pct, 1),
+            r.a_mm.to_string(),
+            r.l2_writebacks.to_string(),
+            r.refreshes.to_string(),
+        ]);
+    }
+    format!(
+        "== Power breakdown: {benchmark} (single-core, 50us) ==\n{}",
+        t.render()
+    )
+}

@@ -1,0 +1,33 @@
+//! Table 1: the workload inventory.
+
+use esteem_workloads::{all_benchmarks, dual_core_mixes, Suite};
+
+pub fn render() -> String {
+    let mut out =
+        String::from("== Table 1: workloads ==\n\nSingle-core workloads — HPC in *italics*:\n");
+    for b in all_benchmarks() {
+        let name = if b.suite == Suite::Hpc {
+            format!("*{}*", b.name)
+        } else {
+            b.name.to_owned()
+        };
+        out.push_str(&format!("  {}({})\n", b.acronym, name));
+    }
+    out.push_str("\nDual-core workloads\n");
+    for m in dual_core_mixes() {
+        out.push_str(&format!("  {}({}-{})\n", m.acronym, m.a.name, m.b.name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn lists_everything() {
+        let s = super::render();
+        assert!(s.contains("Ga(gamess)"));
+        assert!(s.contains("*xsbench*"));
+        assert!(s.contains("GkNe(gobmk-nekbone)"));
+        assert_eq!(s.matches('(').count(), 34 + 17);
+    }
+}

@@ -1,0 +1,33 @@
+//! Table 2: eDRAM cache energy constants (inputs, reproduced verbatim
+//! with the interpolation the model applies to other sizes).
+
+use esteem_energy::params::{table2_lookup, TABLE2};
+
+use crate::tablefmt::{f, Table};
+
+pub fn render() -> String {
+    let mut t = Table::new(&["capacity", "E_dyn (nJ/access)", "P_leak (W)"]);
+    for &(mb, d, l) in &TABLE2 {
+        t.row(vec![format!("{mb} MB"), f(d, 3), f(l, 3)]);
+    }
+    // Show what the model interpolates for the sizes Table 3 sweeps use.
+    for mb in [1.0, 6.0, 12.0] {
+        let (d, l) = table2_lookup(mb);
+        t.row(vec![format!("{mb} MB (interp)"), f(d, 3), f(l, 3)]);
+    }
+    format!(
+        "== Table 2: 16-way eDRAM cache energy values ==\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn contains_paper_values() {
+        let s = super::render();
+        assert!(s.contains("0.212"));
+        assert!(s.contains("1.056"));
+        assert!(s.contains("interp"));
+    }
+}

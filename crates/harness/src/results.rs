@@ -1,0 +1,31 @@
+//! Machine-readable experiment persistence.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// Writes `value` as pretty JSON to `<dir>/<name>.json`, creating the
+/// directory if needed. Returns the path written.
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable experiment result");
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_is_valid_json() {
+        let dir = std::env::temp_dir().join("esteem-results-test");
+        let path = write_json(&dir, "probe", &vec![1, 2, 3]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let back: Vec<i32> = serde_json::from_str(&body).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,169 @@
+//! Main-memory timing model for the ESTEEM (HPDC'14) reproduction.
+//!
+//! The paper (§6.1) models main memory as a 220-cycle-latency device with a
+//! bandwidth of 10 GB/s (single-core) or 15 GB/s (dual-core) and "memory
+//! queue contention is also modeled". We reproduce that with:
+//!
+//! * a fixed access latency,
+//! * a per-line channel *service time* derived from the bandwidth
+//!   (`line_bytes / bandwidth`, in cycles), and
+//! * a deterministic utilization-based queueing delay, computed per
+//!   measurement window from the previous window's demand (same
+//!   one-window-lag scheme as the L2 bank-contention model, see
+//!   `esteem-edram::contention`).
+
+pub mod queue;
+
+pub use queue::ChannelQueue;
+
+/// Static configuration of the memory system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemConfig {
+    /// Uncontended access latency in core cycles (paper: 220).
+    pub latency_cycles: u64,
+    /// Channel bandwidth in bytes per second (paper: 10e9 / 15e9).
+    pub bandwidth_bytes_per_sec: f64,
+    /// Core clock in Hz (paper: 2 GHz).
+    pub clock_hz: f64,
+    /// Transfer granularity — one cache line (64 B).
+    pub line_bytes: u32,
+}
+
+impl MemConfig {
+    /// The paper's single-core memory system: 220 cycles, 10 GB/s, 2 GHz.
+    pub fn paper_single_core() -> Self {
+        Self {
+            latency_cycles: 220,
+            bandwidth_bytes_per_sec: 10.0e9,
+            clock_hz: 2.0e9,
+            line_bytes: 64,
+        }
+    }
+
+    /// The paper's dual-core memory system: 220 cycles, 15 GB/s.
+    pub fn paper_dual_core() -> Self {
+        Self {
+            bandwidth_bytes_per_sec: 15.0e9,
+            ..Self::paper_single_core()
+        }
+    }
+
+    /// Channel occupancy of one line transfer, in core cycles.
+    pub fn service_cycles(&self) -> f64 {
+        f64::from(self.line_bytes) / self.bandwidth_bytes_per_sec * self.clock_hz
+    }
+}
+
+/// Lifetime counters of the memory system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Demand fills (L2 misses).
+    pub reads: u64,
+    /// Write-backs of dirty L2 lines (including reconfiguration flushes).
+    pub writes: u64,
+}
+
+impl MemStats {
+    /// The paper's `A_MM`: every access, read or write.
+    pub fn total_accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// The main memory device: fixed latency + queueing from channel load.
+#[derive(Debug, Clone)]
+pub struct MainMemory {
+    cfg: MemConfig,
+    queue: ChannelQueue,
+    pub stats: MemStats,
+}
+
+impl MainMemory {
+    /// `window_cycles` is the contention measurement window (the system
+    /// simulator uses one retention period, keeping all window clocks
+    /// aligned).
+    pub fn new(cfg: MemConfig, window_cycles: u64) -> Self {
+        let service = cfg.service_cycles();
+        Self {
+            cfg,
+            queue: ChannelQueue::new(service, window_cycles),
+            stats: MemStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// A demand read (L2 miss fill). Returns the total latency in cycles
+    /// (fixed latency + modelled queueing delay).
+    pub fn read(&mut self) -> f64 {
+        self.stats.reads += 1;
+        self.cfg.latency_cycles as f64 + self.queue.access()
+    }
+
+    /// A write-back. Writes are posted (buffered) — they add channel load
+    /// but do not stall the core, so no latency is returned.
+    pub fn write(&mut self) {
+        self.stats.writes += 1;
+        self.queue.access();
+    }
+
+    /// Closes contention windows up to `now` (call at window boundaries).
+    pub fn roll_window(&mut self, now: u64) {
+        self.queue.roll_window(now);
+    }
+
+    /// Current modelled queue delay per access (diagnostics).
+    pub fn current_queue_delay(&self) -> f64 {
+        self.queue.current_delay()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_service_time() {
+        // 64 B / 10 GB/s * 2 GHz = 12.8 cycles.
+        let c = MemConfig::paper_single_core();
+        assert!((c.service_cycles() - 12.8).abs() < 1e-9);
+        // 64 B / 15 GB/s * 2 GHz ~= 8.533 cycles.
+        let d = MemConfig::paper_dual_core();
+        assert!((d.service_cycles() - 8.533333).abs() < 1e-3);
+    }
+
+    #[test]
+    fn uncontended_read_is_fixed_latency() {
+        let mut m = MainMemory::new(MemConfig::paper_single_core(), 100_000);
+        assert_eq!(m.read(), 220.0);
+        assert_eq!(m.stats.reads, 1);
+    }
+
+    #[test]
+    fn writes_count_but_do_not_stall() {
+        let mut m = MainMemory::new(MemConfig::paper_single_core(), 100_000);
+        m.write();
+        assert_eq!(m.stats.writes, 1);
+        assert_eq!(m.stats.total_accesses(), 1);
+    }
+
+    #[test]
+    fn heavy_load_increases_read_latency() {
+        let mut m = MainMemory::new(MemConfig::paper_single_core(), 10_000);
+        // Saturate the channel: 700 accesses x 12.8 cycles ~= 90% util.
+        for _ in 0..700 {
+            m.read();
+        }
+        m.roll_window(10_000);
+        let loaded = m.read();
+        assert!(
+            loaded > 250.0,
+            "expected visible queueing at 90% channel load, got {loaded}"
+        );
+        // An idle window brings latency back down.
+        m.roll_window(20_000);
+        assert!(m.read() < loaded);
+    }
+}

@@ -1,0 +1,63 @@
+//! Deterministic, order-preserving parallel execution utilities.
+//!
+//! The ESTEEM reproduction runs hundreds of independent simulations per
+//! figure (workload x technique x configuration). Each simulation is
+//! single-threaded and deterministic; all parallelism in this repository
+//! lives *above* the simulator, in this crate.
+//!
+//! The design intentionally avoids a global thread pool: every call to
+//! [`parallel_map`] spins up scoped workers (via [`crossbeam::thread`]) that
+//! pull indices from a shared atomic cursor (dynamic self-scheduling, which
+//! balances the very uneven run times of different benchmark simulations)
+//! and write results into pre-allocated slots, preserving input order.
+//!
+//! Guarantees:
+//! * Output order == input order, independent of thread count.
+//! * A job panic is propagated to the caller (no lost results, no hangs).
+//! * `threads == 1` degenerates to a plain sequential loop (no spawn), which
+//!   makes `parallel_map` safe to call from within already-parallel code.
+
+mod pool;
+mod progress;
+
+pub use pool::{parallel_map, parallel_map_with, ParConfig};
+pub use progress::Progress;
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use by default: the machine parallelism,
+/// clamped to the number of jobs by [`parallel_map`] at call time.
+///
+/// Honors the `ESTEEM_THREADS` environment variable when set (useful to make
+/// CI runs or determinism tests single-threaded without code changes).
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("ESTEEM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn env_override_respected() {
+        // Note: mutating the environment is process-global; keep the value
+        // sane and restore afterwards so other tests are unaffected.
+        std::env::set_var("ESTEEM_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::remove_var("ESTEEM_THREADS");
+    }
+}

@@ -1,0 +1,65 @@
+//! Minimal, dependency-free progress reporting for long experiment sweeps.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Thread-safe completion counter that optionally prints a one-line tick to
+/// stderr each time a job finishes. Used by the experiment harness so that
+/// multi-minute figure regenerations show liveness.
+pub struct Progress {
+    label: String,
+    total: usize,
+    done: AtomicUsize,
+    enabled: bool,
+    started: Instant,
+}
+
+impl Progress {
+    pub fn new(label: &str, total: usize, enabled: bool) -> Self {
+        Self {
+            label: label.to_owned(),
+            total,
+            done: AtomicUsize::new(0),
+            enabled,
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one completed job; returns the new completion count.
+    pub fn tick(&self) -> usize {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.enabled {
+            let secs = self.started.elapsed().as_secs_f64();
+            eprintln!(
+                "[{}] {}/{} done ({:.1}s elapsed)",
+                if self.label.is_empty() {
+                    "sweep"
+                } else {
+                    &self.label
+                },
+                done,
+                self.total,
+                secs
+            );
+        }
+        done
+    }
+
+    pub fn completed(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_ticks() {
+        let p = Progress::new("t", 3, false);
+        assert_eq!(p.completed(), 0);
+        assert_eq!(p.tick(), 1);
+        assert_eq!(p.tick(), 2);
+        assert_eq!(p.completed(), 2);
+    }
+}

@@ -1,0 +1,291 @@
+//! Reuse-distance (stack-distance) analysis of access streams.
+//!
+//! The LRU stack distance of an access is the number of *distinct* blocks
+//! touched since the previous access to the same block; an access with
+//! stack distance `d` hits in any fully-associative LRU cache of capacity
+//! > `d`. Stack-distance histograms are how cache-behaviour "twins" are
+//! > validated against the streams they imitate — and what connects the
+//! > zone-mixture generator to the per-LRU-position hit histograms ESTEEM's
+//! > Algorithm 1 consumes.
+//!
+//! Implementation: Olken's algorithm. Blocks live on a virtual LRU stack;
+//! a Fenwick (binary indexed) tree over *stack slots* counts how many
+//! live blocks sit above a given slot, so each access costs `O(log n)`:
+//! look up the block's slot, prefix-count the slots above it, vacate the
+//! slot, and re-push the block on top. Slots grow monotonically and are
+//! compacted when the slot arena exceeds twice the live-block count.
+
+use std::collections::HashMap;
+
+/// Fenwick tree over slot occupancy.
+#[derive(Debug, Clone)]
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Self {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    fn add(&mut self, mut i: usize, delta: i32) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + i64::from(delta)) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of occupancy over slots `0..=i`.
+    fn prefix(&self, mut i: usize) -> u64 {
+        i += 1;
+        let mut s = 0u64;
+        while i > 0 {
+            s += u64::from(self.tree[i]);
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Streaming reuse-distance profiler.
+#[derive(Debug, Clone)]
+pub struct ReuseDistance {
+    /// Block -> slot index (slots grow downward in recency: larger slot =
+    /// more recent).
+    slot_of: HashMap<u64, usize>,
+    occupancy: Fenwick,
+    next_slot: usize,
+    /// Histogram: `hist[min(d, hist.len()-1)] += 1`; the last bucket also
+    /// collects cold (first-touch) accesses.
+    hist: Vec<u64>,
+    cold: u64,
+    total: u64,
+}
+
+impl ReuseDistance {
+    /// `max_distance` bounds the histogram; deeper reuses land in the
+    /// overflow bucket.
+    pub fn new(max_distance: usize) -> Self {
+        assert!(max_distance >= 1);
+        Self {
+            slot_of: HashMap::new(),
+            occupancy: Fenwick::new(1024),
+            next_slot: 0,
+            hist: vec![0; max_distance + 1],
+            cold: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one access and returns its stack distance (`None` for a
+    /// cold first touch).
+    pub fn access(&mut self, block: u64) -> Option<u64> {
+        self.total += 1;
+        let top = self.next_slot;
+        if top >= self.occupancy.len() {
+            self.grow_or_compact();
+        }
+        let dist = if let Some(&slot) = self.slot_of.get(&block) {
+            // Distinct blocks *above* `slot`: those in (slot, top).
+            let above = self.occupancy.prefix(self.next_slot.saturating_sub(1))
+                - self.occupancy.prefix(slot);
+            self.occupancy.add(slot, -1);
+            Some(above)
+        } else {
+            self.cold += 1;
+            None
+        };
+        self.occupancy.add(self.next_slot, 1);
+        self.slot_of.insert(block, self.next_slot);
+        self.next_slot += 1;
+        match dist {
+            Some(d) => {
+                let idx = (d as usize).min(self.hist.len() - 1);
+                self.hist[idx] += 1;
+            }
+            None => {
+                let last = self.hist.len() - 1;
+                self.hist[last] += 1;
+            }
+        }
+        dist
+    }
+
+    fn grow_or_compact(&mut self) {
+        if self.next_slot > 2 * self.slot_of.len().max(512) {
+            // Compact: renumber live blocks by recency order.
+            let mut live: Vec<(usize, u64)> = self.slot_of.iter().map(|(&b, &s)| (s, b)).collect();
+            live.sort_unstable();
+            let n = live.len();
+            self.occupancy = Fenwick::new((2 * n).max(1024));
+            self.slot_of.clear();
+            for (i, (_, b)) in live.into_iter().enumerate() {
+                self.slot_of.insert(b, i);
+                self.occupancy.add(i, 1);
+            }
+            self.next_slot = n;
+        } else {
+            // Grow the arena.
+            let mut bigger = Fenwick::new(self.occupancy.len() * 2);
+            for (&_b, &s) in &self.slot_of {
+                bigger.add(s, 1);
+            }
+            self.occupancy = bigger;
+        }
+    }
+
+    /// Histogram of stack distances; the final bucket holds overflow +
+    /// cold accesses.
+    pub fn histogram(&self) -> &[u64] {
+        &self.hist
+    }
+
+    /// Cold (first-touch) accesses.
+    pub fn cold_accesses(&self) -> u64 {
+        self.cold
+    }
+
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// Hit ratio of a fully-associative LRU cache of `capacity` blocks
+    /// over the profiled stream (the classic use of the histogram).
+    pub fn lru_hit_ratio(&self, capacity: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self
+            .hist
+            .iter()
+            .take(capacity.min(self.hist.len() - 1))
+            .sum();
+        hits as f64 / self.total as f64
+    }
+
+    /// Distinct blocks seen (the stream's footprint).
+    pub fn footprint(&self) -> usize {
+        self.slot_of.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_distances() {
+        let mut rd = ReuseDistance::new(16);
+        assert_eq!(rd.access(1), None); // cold
+        assert_eq!(rd.access(2), None);
+        assert_eq!(rd.access(3), None);
+        assert_eq!(rd.access(1), Some(2)); // 2 distinct blocks since
+        assert_eq!(rd.access(1), Some(0)); // immediate reuse
+        assert_eq!(rd.access(3), Some(1)); // only 1 above it now
+        assert_eq!(rd.cold_accesses(), 3);
+        assert_eq!(rd.footprint(), 3);
+    }
+
+    #[test]
+    fn duplicate_heavy_stream() {
+        let mut rd = ReuseDistance::new(8);
+        for _ in 0..1000 {
+            rd.access(42);
+        }
+        assert_eq!(rd.cold_accesses(), 1);
+        assert_eq!(rd.histogram()[0], 999);
+        assert!((rd.lru_hit_ratio(1) - 0.999).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cyclic_scan_distance_is_length_minus_one() {
+        let n = 20u64;
+        let mut rd = ReuseDistance::new(64);
+        for lap in 0..5 {
+            for b in 0..n {
+                let d = rd.access(b);
+                if lap > 0 {
+                    assert_eq!(d, Some(n - 1));
+                }
+            }
+        }
+        // LRU of capacity n-1 never hits a cyclic scan of n blocks...
+        assert_eq!(rd.lru_hit_ratio(n as usize - 1), 0.0);
+        // ...capacity n always hits after the cold lap.
+        assert!((rd.lru_hit_ratio(n as usize + 1) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compaction_preserves_distances() {
+        let mut rd = ReuseDistance::new(32);
+        // Force many slot allocations with a small live set.
+        for i in 0..50_000u64 {
+            rd.access(i % 16);
+        }
+        // The loop ended at block 15; block 3 was accessed 12 distinct
+        // blocks ago (4..=15).
+        let d = rd.access(3);
+        assert_eq!(d, Some(12));
+        // A full extra lap later, block 3 is 15 distinct blocks deep.
+        for b in [4u64, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0, 1, 2] {
+            rd.access(b);
+        }
+        assert_eq!(rd.access(3), Some(15));
+        assert_eq!(rd.footprint(), 16);
+    }
+
+    #[test]
+    fn matches_naive_reference_on_random_stream() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        let stream: Vec<u64> = (0..3000).map(|_| rng.gen_range(0..200)).collect();
+
+        // Naive O(n^2) reference.
+        let mut naive_stack: Vec<u64> = Vec::new();
+        let mut naive: Vec<Option<u64>> = Vec::new();
+        for &b in &stream {
+            if let Some(pos) = naive_stack.iter().rposition(|&x| x == b) {
+                naive.push(Some((naive_stack.len() - 1 - pos) as u64));
+                naive_stack.remove(pos);
+            } else {
+                naive.push(None);
+            }
+            naive_stack.push(b);
+        }
+
+        let mut rd = ReuseDistance::new(256);
+        for (i, &b) in stream.iter().enumerate() {
+            assert_eq!(rd.access(b), naive[i], "mismatch at access {i}");
+        }
+    }
+
+    #[test]
+    fn zone_mixture_twins_have_decaying_histograms() {
+        // The property the whole workload model rests on: zone-mixture
+        // streams produce (coarsely) decaying stack-distance histograms.
+        use crate::suites::benchmark_by_name;
+        use crate::AccessStream;
+        let p = benchmark_by_name("bzip2").unwrap();
+        let mut s = AccessStream::new(&p, 0, 3);
+        let mut rd = ReuseDistance::new(4096);
+        for _ in 0..200_000 {
+            rd.access(s.next_bundle().mem.block);
+        }
+        let h = rd.histogram();
+        // Compare mass in coarse bands: [0,64) >> [512,1024) > [2048,4096).
+        let band = |a: usize, b: usize| h[a..b].iter().sum::<u64>();
+        let near = band(0, 64);
+        let mid = band(512, 1024);
+        let far = band(2048, 4096);
+        assert!(near > 10 * mid, "near {near} vs mid {mid}");
+        assert!(mid > far, "mid {mid} vs far {far}");
+    }
+}

@@ -1,0 +1,321 @@
+//! The access-stream generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profile::BenchmarkProfile;
+use crate::stable_hash;
+use crate::zones::ZoneMixture;
+
+/// One memory reference, block-granular.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    pub block: u64,
+    pub write: bool,
+}
+
+/// A bundle of `instrs` retired instructions whose last instruction is the
+/// memory reference `mem`. (The generator emits exactly one memory
+/// reference per bundle; the bundle size realises the phase's memory
+/// intensity.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bundle {
+    pub instrs: u32,
+    pub mem: MemRef,
+}
+
+/// Address-space layout: each core's stream lives in a disjoint region
+/// (multiprogrammed workloads share no data, paper §6.1), and within a
+/// core's region the reuse/scan/stream components are disjoint.
+const CORE_SHIFT: u32 = 52;
+const REGION_SHIFT: u32 = 46;
+const REGION_REUSE: u64 = 0;
+const REGION_SCAN: u64 = 1;
+const REGION_STREAM: u64 = 2;
+
+/// Streaming accesses dwell on a block before advancing, mimicking
+/// word-granular traversal of a line (8 x 8 B words per 64 B line; a bit
+/// of the traversal is lost to the L1, hence 6).
+const STREAM_DWELL: u32 = 6;
+/// Cyclic scans also touch several words per line before moving on.
+const SCAN_DWELL: u32 = 4;
+/// Each scan lap covers between 2/3 and all of the scan region (the lap
+/// length is re-drawn deterministically per lap). Real scan loops process
+/// variable-length work lists; the varying depth also smears the scan's
+/// LRU-position spike into a multi-position bump, which is what makes the
+/// pattern detectably non-monotone ("non-LRU") at any cache geometry.
+const SCAN_LAP_VARIATION: u64 = 2;
+
+/// Deterministic, seeded generator of one benchmark's memory reference
+/// stream. See the crate docs for the model.
+#[derive(Debug, Clone)]
+pub struct AccessStream {
+    profile: BenchmarkProfile,
+    rng: SmallRng,
+    core_base: u64,
+    /// Precomputed zone mixture per phase.
+    mixtures: Vec<ZoneMixture>,
+    phase_idx: usize,
+    instrs_in_phase: u64,
+    /// Fractional-instruction accumulator realising `mem_ratio` exactly.
+    gap_credit: f64,
+    stream_ptr: u64,
+    stream_dwell: u32,
+    scan_ptr: u64,
+    scan_dwell: u32,
+    scan_lap: u64,
+    /// Current lap's wrap point (varies per lap, see `SCAN_LAP_VARIATION`).
+    scan_limit: u64,
+    total_instrs: u64,
+    total_refs: u64,
+}
+
+impl AccessStream {
+    pub fn new(profile: &BenchmarkProfile, core_id: u32, seed: u64) -> Self {
+        profile.validate();
+        let rng_seed = stable_hash(&[profile.name, &core_id.to_string(), &seed.to_string()]);
+        let mixtures = profile
+            .phases
+            .iter()
+            .map(|ph| ZoneMixture::build(ph, profile.name))
+            .collect();
+        Self {
+            profile: profile.clone(),
+            rng: SmallRng::seed_from_u64(rng_seed),
+            core_base: u64::from(core_id) << CORE_SHIFT,
+            mixtures,
+            phase_idx: 0,
+            instrs_in_phase: 0,
+            gap_credit: 0.0,
+            stream_ptr: 0,
+            stream_dwell: 0,
+            scan_ptr: 0,
+            scan_dwell: 0,
+            scan_lap: 0,
+            scan_limit: u64::MAX, // set on first scan reference
+
+            total_instrs: 0,
+            total_refs: 0,
+        }
+    }
+
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    pub fn total_instructions(&self) -> u64 {
+        self.total_instrs
+    }
+
+    pub fn total_references(&self) -> u64 {
+        self.total_refs
+    }
+
+    /// Current phase index (diagnostics).
+    pub fn phase(&self) -> usize {
+        self.phase_idx
+    }
+
+    /// Wrap point for the current scan lap: between 2/3 and all of the
+    /// region, drawn deterministically from the lap number.
+    fn next_scan_limit(&self, region: u64) -> u64 {
+        let span = (region / SCAN_LAP_VARIATION).max(1);
+        let off = stable_hash(&[self.profile.name, "lap", &self.scan_lap.to_string()]) % span;
+        (region - off).max(1)
+    }
+
+    /// Generates the next bundle.
+    pub fn next_bundle(&mut self) -> Bundle {
+        let phase = &self.profile.phases[self.phase_idx];
+
+        // Instructions carried by this bundle (>= 1, exact rate on average).
+        self.gap_credit += 1.0 / phase.mem_ratio;
+        let instrs = (self.gap_credit.floor() as u32).max(1);
+        self.gap_credit -= f64::from(instrs);
+
+        // Reference source: stream | scan | zones.
+        let r: f64 = self.rng.gen();
+        let block = if r < phase.stream_frac {
+            let b = self.core_base | (REGION_STREAM << REGION_SHIFT) | self.stream_ptr;
+            self.stream_dwell += 1;
+            if self.stream_dwell >= STREAM_DWELL {
+                self.stream_dwell = 0;
+                self.stream_ptr = (self.stream_ptr + 1) % phase.stream_blocks.max(1);
+            }
+            b
+        } else if r < phase.stream_frac + phase.scan_frac {
+            let region = phase.scan_blocks.max(1);
+            if self.scan_limit > region {
+                self.scan_limit = self.next_scan_limit(region);
+            }
+            let b = self.core_base | (REGION_SCAN << REGION_SHIFT) | self.scan_ptr;
+            self.scan_dwell += 1;
+            if self.scan_dwell >= SCAN_DWELL {
+                self.scan_dwell = 0;
+                self.scan_ptr += 1;
+                if self.scan_ptr >= self.scan_limit {
+                    self.scan_ptr = 0;
+                    self.scan_lap += 1;
+                    self.scan_limit = self.next_scan_limit(region);
+                }
+            }
+            b
+        } else {
+            let idx = self.mixtures[self.phase_idx].sample(&mut self.rng);
+            self.core_base | (REGION_REUSE << REGION_SHIFT) | idx
+        };
+        let write = self.rng.gen_bool(phase.write_ratio);
+
+        // Phase bookkeeping.
+        self.total_instrs += u64::from(instrs);
+        self.total_refs += 1;
+        self.instrs_in_phase += u64::from(instrs);
+        if self.instrs_in_phase >= phase.duration_instrs {
+            self.instrs_in_phase = 0;
+            self.phase_idx = (self.phase_idx + 1) % self.profile.phases.len();
+        }
+
+        Bundle {
+            instrs,
+            mem: MemRef { block, write },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{base_phase, BenchmarkProfile, Suite};
+
+    fn profile(phases: Vec<crate::profile::PhaseSpec>) -> BenchmarkProfile {
+        BenchmarkProfile {
+            name: "synthetic",
+            acronym: "Sy",
+            suite: Suite::Spec2006,
+            cpi_base: 0.5,
+            mlp: 1.5,
+            phases,
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = profile(vec![base_phase()]);
+        let mut a = AccessStream::new(&p, 0, 42);
+        let mut b = AccessStream::new(&p, 0, 42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_bundle(), b.next_bundle());
+        }
+    }
+
+    #[test]
+    fn different_seeds_or_cores_diverge() {
+        let p = profile(vec![base_phase()]);
+        let mut a = AccessStream::new(&p, 0, 1);
+        let mut b = AccessStream::new(&p, 0, 2);
+        let mut c = AccessStream::new(&p, 1, 1);
+        let bundles_a: Vec<_> = (0..100).map(|_| a.next_bundle()).collect();
+        let bundles_b: Vec<_> = (0..100).map(|_| b.next_bundle()).collect();
+        let bundles_c: Vec<_> = (0..100).map(|_| c.next_bundle()).collect();
+        assert_ne!(bundles_a, bundles_b);
+        assert_ne!(bundles_a, bundles_c);
+        // Cores never share blocks.
+        for (x, y) in bundles_a.iter().zip(&bundles_c) {
+            assert_ne!(x.mem.block >> CORE_SHIFT, y.mem.block >> CORE_SHIFT);
+        }
+    }
+
+    #[test]
+    fn mem_ratio_realised() {
+        let mut ph = base_phase();
+        ph.mem_ratio = 0.25;
+        let p = profile(vec![ph]);
+        let mut s = AccessStream::new(&p, 0, 0);
+        for _ in 0..100_000 {
+            s.next_bundle();
+        }
+        let ratio = s.total_references() as f64 / s.total_instructions() as f64;
+        assert!(
+            (ratio - 0.25).abs() < 0.01,
+            "mem ratio {ratio} drifted from 0.25"
+        );
+    }
+
+    #[test]
+    fn write_ratio_realised() {
+        let mut ph = base_phase();
+        ph.write_ratio = 0.4;
+        let p = profile(vec![ph]);
+        let mut s = AccessStream::new(&p, 0, 0);
+        let writes = (0..50_000).filter(|_| s.next_bundle().mem.write).count();
+        let ratio = writes as f64 / 50_000.0;
+        assert!((ratio - 0.4).abs() < 0.02, "write ratio {ratio}");
+    }
+
+    #[test]
+    fn phases_cycle() {
+        let mut a = base_phase();
+        a.duration_instrs = 1000;
+        a.ws_blocks = 1 << 10;
+        let mut b = a.clone();
+        b.duration_instrs = 1000;
+        b.ws_blocks = 1 << 15;
+        let p = profile(vec![a, b]);
+        let mut s = AccessStream::new(&p, 0, 0);
+        let mut seen = [false, false];
+        for _ in 0..5000 {
+            s.next_bundle();
+            seen[s.phase()] = true;
+        }
+        assert!(seen[0] && seen[1], "both phases must be visited");
+    }
+
+    #[test]
+    fn streaming_advances_sequentially() {
+        let mut ph = base_phase();
+        ph.stream_frac = 1.0;
+        ph.scan_frac = 0.0;
+        ph.stream_blocks = 1 << 20;
+        let p = profile(vec![ph]);
+        let mut s = AccessStream::new(&p, 0, 0);
+        let blocks: Vec<u64> = (0..60).map(|_| s.next_bundle().mem.block).collect();
+        // Dwell STREAM_DWELL times per block, then advance by one.
+        let distinct: std::collections::BTreeSet<_> = blocks.iter().collect();
+        assert_eq!(distinct.len(), 60 / STREAM_DWELL as usize);
+        let mut sorted: Vec<u64> = distinct.iter().map(|&&b| b).collect();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert_eq!(w[1] - w[0], 1, "stream must be sequential");
+        }
+    }
+
+    #[test]
+    fn scan_is_cyclic_with_varying_laps() {
+        let mut ph = base_phase();
+        ph.stream_frac = 0.0;
+        ph.scan_frac = 1.0;
+        ph.scan_blocks = 30;
+        let p = profile(vec![ph]);
+        let mut s = AccessStream::new(&p, 0, 0);
+        let blocks: Vec<u64> = (0..30 * SCAN_DWELL as usize * 6)
+            .map(|_| s.next_bundle().mem.block)
+            .collect();
+        // Always ascending-from-zero sweeps over the scan region...
+        let low = *blocks.iter().min().unwrap();
+        let distinct: std::collections::BTreeSet<_> = blocks.iter().collect();
+        assert!(distinct.len() <= 30);
+        assert!(distinct.len() >= 20, "laps must cover most of the region");
+        // ...restarting from the region base each lap.
+        assert!(blocks.iter().filter(|&&b| b == low).count() >= 2);
+        // Lap lengths vary: consecutive wrap distances are not all equal.
+        let wraps: Vec<usize> = blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == low)
+            .map(|(i, _)| i)
+            .collect();
+        let gaps: std::collections::BTreeSet<usize> =
+            wraps.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(gaps.len() >= 2, "lap lengths should vary, got {gaps:?}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Nested-zone locality sampling.
+//!
+//! A phase's reuse traffic is drawn from `Z` nested zones. Zone `j` spans
+//! `size_j` blocks at a staggered base offset, with sizes interpolated
+//! geometrically between `hot_blocks` and `ws_blocks`. The hot zone (j=0)
+//! receives the phase's `hot_weight` probability mass (the L1-hit-rate
+//! dial); the remaining `1 - hot_weight` is split over the outer zones
+//! with weights decaying as `decay^j` (the L2 stack-depth dial). Sampling
+//! picks a zone by weight, then a block uniformly within it.
+//!
+//! Two properties matter downstream:
+//!
+//! * **Stack-distance shape.** A uniform zone of `k` blocks-per-set
+//!   produces hits spread over the first `k` LRU positions; the weighted
+//!   superposition of nested zones therefore yields a *decaying*
+//!   per-position histogram — exactly the structure ESTEEM's
+//!   alpha-coverage rule exploits.
+//! * **Module skew.** Each zone's base offset is derived from a stable
+//!   per-benchmark hash, so small zones cover different slices of the set
+//!   index space: different cache modules see different associativity
+//!   pressure, giving ESTEEM's per-module reconfiguration something real
+//!   to adapt to (Figure 2 of the paper).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::profile::PhaseSpec;
+use crate::stable_hash;
+
+/// Precomputed zone table for one phase.
+#[derive(Debug, Clone)]
+pub struct ZoneMixture {
+    /// `(cumulative_weight, base_offset, size)` per zone; cumulative
+    /// weights normalised to end at exactly 1.0.
+    zones: Vec<(f64, u64, u64)>,
+}
+
+impl ZoneMixture {
+    pub fn build(phase: &PhaseSpec, bench_name: &str) -> Self {
+        let z = phase.zones.max(1) as usize;
+        let hot = phase.hot_blocks.max(1) as f64;
+        let ws = phase.ws_blocks.max(phase.hot_blocks) as f64;
+        // Outer-zone decay weights, normalised to (1 - hot_weight).
+        let outer_raw: Vec<f64> = (1..z)
+            .map(|j| phase.locality_decay.powi(j as i32))
+            .collect();
+        let outer_sum: f64 = outer_raw.iter().sum();
+        let outer_mass = if z > 1 { 1.0 - phase.hot_weight } else { 0.0 };
+
+        let mut zones = Vec::with_capacity(z);
+        let mut cum = 0.0;
+        for j in 0..z {
+            // Geometric size interpolation hot -> ws.
+            let t = if z == 1 {
+                1.0
+            } else {
+                j as f64 / (z - 1) as f64
+            };
+            let size = (hot * (ws / hot).powf(t)).round().max(1.0) as u64;
+            // Staggered, deterministic base offset; kept within 4x the
+            // working set so the reuse region stays bounded. Offsets are
+            // quantized to 1024-block boundaries: with 4096-set caches and
+            // typical module counts this aligns zone edges to (multiples
+            // of) module boundaries, so associativity demand is *uniform
+            // within* a module but *differs across* modules — per-module
+            // skew without per-set thrash hotspots.
+            let span = (phase.ws_blocks * 4).max(1);
+            let offset = if j == 0 {
+                0 // the hot zone sits at the region origin
+            } else {
+                (stable_hash(&[bench_name, "zone", &j.to_string()]) % span) & !1023u64
+            };
+            let weight = if j == 0 {
+                if z > 1 {
+                    phase.hot_weight
+                } else {
+                    1.0
+                }
+            } else {
+                outer_mass * outer_raw[j - 1] / outer_sum
+            };
+            cum += weight;
+            zones.push((cum, offset, size));
+        }
+        zones.last_mut().expect("at least one zone").0 = 1.0;
+        Self { zones }
+    }
+
+    /// Draws one block index within the reuse region.
+    #[inline]
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let r: f64 = rng.gen();
+        // Zone counts are tiny (<= 8): linear scan beats binary search.
+        let &(_, offset, size) = self
+            .zones
+            .iter()
+            .find(|&&(c, _, _)| r <= c)
+            .unwrap_or_else(|| self.zones.last().expect("non-empty"));
+        offset + rng.gen_range(0..size)
+    }
+
+    /// Maximum block index reachable (exclusive); bounds the region.
+    pub fn region_limit(&self) -> u64 {
+        self.zones.iter().map(|&(_, o, s)| o + s).max().unwrap_or(1)
+    }
+
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::base_phase;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn sample_stays_in_region() {
+        let zm = ZoneMixture::build(&base_phase(), "test");
+        let limit = zm.region_limit();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(zm.sample(&mut r) < limit);
+        }
+    }
+
+    #[test]
+    fn hot_weight_controls_hot_fraction() {
+        let mut p = base_phase();
+        p.hot_weight = 0.95;
+        p.hot_blocks = 64;
+        p.ws_blocks = 1 << 16;
+        let zm = ZoneMixture::build(&p, "hotness");
+        let mut r = rng();
+        let n = 20_000;
+        let hot_hits = (0..n).filter(|_| zm.sample(&mut r) < 64).count();
+        // hot_weight picks plus outer zones that happen to overlap [0,64).
+        assert!(
+            hot_hits as f64 / n as f64 > 0.90,
+            "hot fraction {} too low",
+            hot_hits as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn low_hot_weight_spreads_out() {
+        let mut p = base_phase();
+        p.hot_weight = 0.30;
+        p.locality_decay = 1.0;
+        p.hot_blocks = 64;
+        p.ws_blocks = 1 << 16;
+        let zm = ZoneMixture::build(&p, "flat");
+        let mut r = rng();
+        let n = 20_000;
+        let hot_hits = (0..n).filter(|_| zm.sample(&mut r) < 64).count();
+        assert!((hot_hits as f64 / n as f64) < 0.45);
+    }
+
+    #[test]
+    fn offsets_deterministic_per_benchmark() {
+        let a = ZoneMixture::build(&base_phase(), "mcf");
+        let b = ZoneMixture::build(&base_phase(), "mcf");
+        let c = ZoneMixture::build(&base_phase(), "gcc");
+        assert_eq!(a.region_limit(), b.region_limit());
+        // Different benchmarks stagger differently (statistically certain).
+        assert_ne!(a.region_limit(), c.region_limit());
+    }
+
+    #[test]
+    fn single_zone_degenerates_to_uniform() {
+        let mut p = base_phase();
+        p.zones = 1;
+        p.hot_blocks = 100;
+        p.ws_blocks = 100;
+        let zm = ZoneMixture::build(&p, "uni");
+        assert_eq!(zm.zone_count(), 1);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(zm.sample(&mut r) < 100);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Refresh-policy explorer: per-component power for every refresh policy
+//! on one benchmark, including the policies the paper describes but does
+//! not evaluate (RPD, periodic-valid).
+//!
+//! ```text
+//! cargo run --release --example policy_explorer [benchmark]
+//! ```
+
+use esteem::harness::experiments::breakdown;
+use esteem::harness::Scale;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "bzip2".into());
+    let rows = breakdown::run(Scale::Quick, &name);
+    print!("{}", breakdown::render(&name, &rows));
+    println!();
+    println!("Notes:");
+    println!("  * RPV skips refreshes of recently-touched and invalid lines.");
+    println!("  * RPD additionally *invalidates* idle clean lines instead of");
+    println!("    refreshing them — cheap on refresh, costly on re-fetches;");
+    println!("    the paper excludes it for exactly that reason (§6.2).");
+    println!("  * ESTEEM turns ways off per module, attacking leakage AND refresh.");
+}

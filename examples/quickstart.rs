@@ -1,0 +1,61 @@
+//! Quickstart: run ESTEEM on one benchmark and compare it against the
+//! baseline eDRAM cache (which refreshes every line each retention period).
+//!
+//! ```text
+//! cargo run --release --example quickstart [benchmark]
+//! ```
+
+use esteem::core::{run_comparison, SystemConfig, Technique};
+use esteem::harness::{default_algo, Scale};
+use esteem::workloads::benchmark_by_name;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "h264ref".into());
+    let profile = benchmark_by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark '{name}'; try e.g. gamess, mcf, lbm, h264ref");
+        std::process::exit(1);
+    });
+
+    let scale = Scale::Quick;
+    let mut algo = default_algo(1);
+    algo.interval_cycles = scale.interval_cycles();
+    let make = |t: Technique| {
+        let mut cfg = SystemConfig::paper_single_core(t);
+        cfg.sim_instructions = scale.instructions();
+        cfg.warmup_cycles = scale.warmup_cycles();
+        cfg
+    };
+
+    println!(
+        "simulating {name} ({} instructions, 4MB eDRAM L2, 50us retention)...",
+        scale.instructions()
+    );
+    let cmp = run_comparison(
+        make,
+        Technique::Esteem(algo),
+        std::slice::from_ref(&profile),
+        profile.name,
+    );
+
+    println!();
+    println!("baseline IPC:        {:.3}", cmp.base.per_core[0].ipc);
+    println!("ESTEEM IPC:          {:.3}", cmp.tech.per_core[0].ipc);
+    println!("weighted speedup:    {:.3}x", cmp.weighted_speedup);
+    println!("energy saving:       {:.2}%", cmp.energy_saving_pct);
+    println!("active ratio:        {:.1}%", cmp.active_ratio * 100.0);
+    println!("RPKI decrease:       {:.1}", cmp.rpki_decrease);
+    println!("MPKI increase:       {:.3}", cmp.mpki_increase);
+    println!();
+    println!("baseline refreshes:  {}", cmp.base.refreshes);
+    println!("ESTEEM refreshes:    {}", cmp.tech.refreshes);
+    println!(
+        "baseline energy:     {:.4} J  ({:.3} W)",
+        cmp.base.energy.total(),
+        cmp.base.energy.total() / cmp.base.inputs.seconds
+    );
+    println!(
+        "ESTEEM energy:       {:.4} J  ({:.3} W)",
+        cmp.tech.energy.total(),
+        cmp.tech.energy.total() / cmp.tech.inputs.seconds
+    );
+}

@@ -1,0 +1,63 @@
+//! Retention-period sweep: how refresh overhead and ESTEEM's benefit grow
+//! as the eDRAM retention period shrinks (paper §7.3 studies 50 us vs
+//! 40 us; retention halves roughly every 45 C of temperature increase).
+//!
+//! ```text
+//! cargo run --release --example retention_sweep [benchmark]
+//! ```
+
+use esteem::core::{Simulator, SystemConfig, Technique};
+use esteem::edram::retention::retention_micros_at_temp;
+use esteem::edram::RetentionSpec;
+use esteem::harness::{default_algo, Scale};
+use esteem::workloads::benchmark_by_name;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gobmk".into());
+    let profile = benchmark_by_name(&name).expect("unknown benchmark");
+    let scale = Scale::Quick;
+
+    println!("retention physics (anchored at 40us @ 105C, 50us @ 60C):");
+    for temp in [30.0, 60.0, 85.0, 105.0] {
+        println!(
+            "  {temp:>5.0} C -> retention {:>6.1} us",
+            retention_micros_at_temp(temp)
+        );
+    }
+
+    println!(
+        "\n{name}: baseline vs ESTEEM across retention periods ({} instrs)",
+        scale.instructions()
+    );
+    println!(
+        "\n{:>9} {:>12} {:>12} {:>10} {:>10} {:>9}",
+        "retention", "base RPKI", "base IPC", "E-save %", "WS", "active %"
+    );
+    println!("{}", "-".repeat(68));
+    for us in [100.0, 80.0, 60.0, 50.0, 40.0, 30.0] {
+        let mut algo = default_algo(1);
+        algo.interval_cycles = scale.interval_cycles();
+        let make = |t: Technique| {
+            let mut cfg = SystemConfig::paper_single_core(t);
+            cfg.retention = RetentionSpec::from_micros(us, 2.0);
+            cfg.sim_instructions = scale.instructions();
+            cfg.warmup_cycles = scale.warmup_cycles();
+            cfg
+        };
+        let base = Simulator::single(make(Technique::Baseline), &profile).run();
+        let est = Simulator::single(make(Technique::Esteem(algo)), &profile).run();
+        let save =
+            esteem::energy::model::energy_saving_percent(base.energy.total(), est.energy.total());
+        println!(
+            "{:>7.0}us {:>12.0} {:>12.3} {:>10.2} {:>10.3} {:>9.1}",
+            us,
+            base.rpki(),
+            base.per_core[0].ipc,
+            save,
+            est.per_core[0].ipc / base.per_core[0].ipc,
+            est.active_ratio * 100.0
+        );
+    }
+    println!("\nShorter retention -> more refreshes -> slower, hungrier baseline");
+    println!("-> larger ESTEEM benefit (the paper's §7.3 observation).");
+}

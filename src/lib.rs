@@ -1,0 +1,43 @@
+//! # ESTEEM — energy-saving reconfiguration for eDRAM caches
+//!
+//! Facade crate for the reproduction of *"Improving Energy Efficiency of
+//! Embedded DRAM Caches for High-end Computing Systems"* (Mittal, Vetter,
+//! Li — HPDC 2014). It re-exports the workspace crates so applications can
+//! depend on a single `esteem` crate:
+//!
+//! * [`cache`] — set-associative cache model with per-module way masks and
+//!   the embedded set-sampling profiler (ATD);
+//! * [`edram`] — eDRAM retention, refresh policies (baseline periodic-all,
+//!   periodic-valid, Refrint RPV/RPD) and the bank-contention model;
+//! * [`mem`] — main-memory timing with bandwidth-derived queueing;
+//! * [`workloads`] — synthetic statistical twins of the 29 SPEC CPU2006 +
+//!   5 HPC benchmarks and the paper's 17 dual-core mixes;
+//! * [`energy`] — the paper's §6.3 energy model and §6.4 metrics;
+//! * [`core`] — ESTEEM itself (Algorithm 1 + interval engine) and the
+//!   multicore system simulator;
+//! * [`par`] — deterministic order-preserving parallel sweeps;
+//! * [`harness`] — regenerators for every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use esteem::core::{Simulator, SystemConfig, Technique, AlgoParams};
+//! use esteem::workloads::benchmark_by_name;
+//!
+//! let gamess = benchmark_by_name("gamess").unwrap();
+//! let mut cfg = SystemConfig::paper_single_core(
+//!     Technique::Esteem(AlgoParams::paper_single_core()));
+//! cfg.sim_instructions = 1_000_000; // tiny demo run
+//! cfg.warmup_cycles = 100_000;
+//! let report = Simulator::single(cfg, &gamess).run();
+//! assert!(report.energy.total() > 0.0);
+//! ```
+
+pub use esteem_cache as cache;
+pub use esteem_core as core;
+pub use esteem_edram as edram;
+pub use esteem_energy as energy;
+pub use esteem_harness as harness;
+pub use esteem_mem as mem;
+pub use esteem_par as par;
+pub use esteem_workloads as workloads;

@@ -1,0 +1,153 @@
+//! Property-based integration tests of system-level invariants, plus
+//! checks pinning the implementation to the paper's worked examples.
+
+use esteem::core::esteem::algorithm1;
+use esteem::core::{Simulator, SystemConfig, Technique};
+use esteem::workloads::{all_benchmarks, benchmark_by_name};
+use proptest::prelude::*;
+
+/// Paper §3.1 worked example, end to end through the public API.
+#[test]
+fn paper_worked_example_via_facade() {
+    let hits = [10816u64, 4645, 2140, 501, 217, 113, 63, 11];
+    assert_eq!(algorithm1(&hits, 0.97, 1, true), 4);
+    assert_eq!(algorithm1(&hits, 0.95, 1, true), 3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 1 invariants over arbitrary histograms:
+    /// * the decision is within [min(A_min, A), A];
+    /// * it is monotone in alpha;
+    /// * A_min never reduces the chosen way count.
+    #[test]
+    fn algorithm1_invariants(
+        hits in proptest::collection::vec(0u64..100_000, 2..32),
+        alpha_milli in 500u32..999,
+        a_min in 1u8..8,
+    ) {
+        let alpha = f64::from(alpha_milli) / 1000.0;
+        let a = hits.len() as u8;
+        let d = algorithm1(&hits, alpha, a_min, true);
+        prop_assert!(d >= 1 && d <= a.max(a_min));
+        prop_assert!(d >= a_min.min(a) || d == a - 1 || d == a);
+        // Monotone in alpha.
+        let d_hi = algorithm1(&hits, (alpha + 0.999) / 2.0, a_min, true);
+        prop_assert!(d_hi >= d, "alpha monotonicity violated: {d_hi} < {d}");
+        // A_min floor.
+        let d_floor = algorithm1(&hits, alpha, 1, true);
+        prop_assert!(d >= d_floor);
+    }
+
+    /// The counter-overhead formula (eq. 1) stays tiny over the whole
+    /// configuration space the paper sweeps.
+    #[test]
+    fn overhead_stays_small(
+        cap_log in 21u32..26,          // 2MB..32MB
+        ways_log in 3u32..6,           // 8..32 ways
+        modules_log in 1u32..7,        // 2..64 modules
+    ) {
+        let g = esteem::cache::CacheGeometry::from_capacity(
+            1u64 << cap_log, 1 << ways_log, 64, 4, 1 << modules_log);
+        let pct = g.esteem_counter_overhead_percent();
+        prop_assert!(pct > 0.0 && pct < 1.5, "overhead {pct}% out of band");
+    }
+}
+
+/// Every one of the 34 synthetic benchmarks runs end-to-end under every
+/// technique without violating basic sanity (positive IPC, finite energy,
+/// refreshes consistent with the policy).
+#[test]
+fn every_benchmark_runs_under_every_technique() {
+    let algo = esteem::core::AlgoParams {
+        interval_cycles: 250_000,
+        ..esteem::core::AlgoParams::paper_single_core()
+    };
+    for b in all_benchmarks() {
+        for t in [Technique::Baseline, Technique::Rpv, Technique::Esteem(algo)] {
+            let mut cfg = SystemConfig::paper_single_core(t);
+            cfg.sim_instructions = 400_000;
+            cfg.warmup_cycles = 150_000;
+            let r = Simulator::single(cfg, &b).run();
+            assert!(
+                r.per_core[0].ipc > 0.01 && r.per_core[0].ipc < 4.0,
+                "{} under {}: IPC {} out of range",
+                b.name,
+                t.name(),
+                r.per_core[0].ipc
+            );
+            assert!(r.energy.total().is_finite() && r.energy.total() > 0.0);
+            match t {
+                Technique::Baseline => assert!(r.refreshes > 0),
+                Technique::Rpv => assert!(r.refresh_invalidations == 0),
+                _ => {}
+            }
+            assert!(r.active_ratio > 0.0 && r.active_ratio <= 1.0);
+        }
+    }
+}
+
+/// The L2's valid-line accounting never drifts from a recount, even
+/// through reconfiguration and refresh-driven invalidations (RPD).
+#[test]
+fn valid_line_accounting_through_reconfig_and_rpd() {
+    use esteem::cache::{CacheGeometry, SetAssocCache};
+    use esteem::edram::{RefreshEngine, RefreshPolicy, RetentionSpec};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let g = CacheGeometry::from_capacity(256 << 10, 8, 64, 4, 4);
+    let mut cache = SetAssocCache::new(g, Some(16));
+    let mut eng = RefreshEngine::new(
+        RefreshPolicy::RPD,
+        RetentionSpec {
+            period_cycles: 4000,
+        },
+        &cache,
+    );
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut cycle = 0u64;
+    for step in 0..30_000u64 {
+        cycle += rng.gen_range(1..4);
+        let out = cache.access(rng.gen_range(0..20_000), rng.gen_bool(0.3), cycle);
+        eng.on_access(&out, cycle);
+        if step % 1000 == 999 {
+            eng.advance(&mut cache, cycle);
+            let m = (step / 1000 % 4) as u16;
+            let ways = rng.gen_range(2..=8);
+            cache.set_module_active_ways(m, ways, cycle);
+            assert_eq!(
+                cache.valid_lines(),
+                cache.recount_valid(),
+                "valid-line accounting drifted at step {step}"
+            );
+            let per_bank: u64 = cache.valid_lines_per_bank().iter().sum();
+            assert_eq!(per_bank, cache.valid_lines());
+        }
+    }
+    assert!(eng.total_invalidations() > 0, "RPD should have invalidated");
+}
+
+/// Changing the seed changes the details but not the qualitative class
+/// behaviour (cache-resident apps keep tiny active ratios).
+#[test]
+fn seed_robustness_of_class_behaviour() {
+    let p = benchmark_by_name("povray").unwrap();
+    for seed in [1u64, 7, 42] {
+        let mut cfg =
+            SystemConfig::paper_single_core(Technique::Esteem(esteem::core::AlgoParams {
+                interval_cycles: 300_000,
+                ..esteem::core::AlgoParams::paper_single_core()
+            }));
+        cfg.sim_instructions = 1_500_000;
+        cfg.warmup_cycles = 1_400_000;
+        cfg.seed = seed;
+        let r = Simulator::single(cfg, &p).run();
+        assert!(
+            r.active_ratio < 0.5,
+            "seed {seed}: active ratio {:.2} unexpectedly high",
+            r.active_ratio
+        );
+    }
+}
