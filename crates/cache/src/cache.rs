@@ -53,15 +53,23 @@ impl ReconfigOutcome {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     geom: CacheGeometry,
-    /// `lines[set * ways + way]`.
-    lines: Vec<Line>,
-    /// Recency orders, `order[set * ways + pos] = way`.
-    order: Vec<u8>,
+    /// `tags[set * ways + way]`; gated by the valid bitmask (a slot keeps
+    /// its stale tag after invalidation). Keeping the tags contiguous and
+    /// bare lets the hit scan touch 8 bytes per way instead of a whole
+    /// line-state struct — this is the simulator's hottest loop.
+    tags: Vec<u64>,
+    /// Per-set valid/dirty bitmasks, stored together so the hit path pulls
+    /// both in one host cache line (they are almost always used together).
+    bits: Vec<SetBits>,
+    /// `last_update[set * ways + way]`: cycle of the last charge-restoring
+    /// operation (fill, hit, or refresh) — the eDRAM retention clock.
+    last_update: Vec<u64>,
+    /// Recency orders, one packed word (or byte run) per set.
+    order: lru::OrderStore,
     /// Active way count per module (`1..=A`). Leader sets ignore this.
     module_ways: Vec<u8>,
-    /// Every `leader_stride`-th set is a leader; `None` disables sampling
-    /// (used for the L1s, which are never reconfigured).
-    leader_stride: Option<u32>,
+    /// Leader-set selection rule, precomputed from the stride.
+    leader_rule: LeaderRule,
     /// Interval-scoped profiling counters fed by leader-set hits.
     pub atd: AtdCounters,
     /// Lifetime counters.
@@ -71,6 +79,32 @@ pub struct SetAssocCache {
     /// valid lines (the counts are exact, maintained incrementally).
     valid_per_bank: Vec<u64>,
     active_slots: u64,
+    /// Whether demand accesses record `last_update`. Only refresh policies
+    /// that consult per-line retention clocks (the polyphase family and
+    /// multi-periodic scrub) need the store; periodic-valid refresh and the
+    /// L1s never read it, so the simulator turns it off for them to spare
+    /// a random 8-byte store per access on the hot path.
+    track_retention: bool,
+}
+
+/// One set's way-state bitmasks (bit `w` = physical way `w`).
+#[derive(Debug, Clone, Copy, Default)]
+struct SetBits {
+    valid: u64,
+    dirty: u64,
+}
+
+/// How leader sets are selected — resolved once at construction so the
+/// per-access check is a mask compare for the (universal) power-of-two
+/// strides instead of a division.
+#[derive(Debug, Clone, Copy)]
+enum LeaderRule {
+    /// No sampling (the L1s).
+    None,
+    /// Power-of-two stride: leader iff `set & mask == 0`.
+    Pow2 { mask: u32 },
+    /// General stride fallback.
+    Modulo { stride: u32 },
 }
 
 impl SetAssocCache {
@@ -82,10 +116,7 @@ impl SetAssocCache {
             assert!(rs >= 1, "leader stride must be >= 1");
         }
         let slots = geom.total_slots() as usize;
-        let mut order = vec![0u8; slots];
-        for set in 0..geom.sets as usize {
-            lru::init_order(&mut order[set * geom.ways as usize..(set + 1) * geom.ways as usize]);
-        }
+        let order = lru::OrderStore::new(geom.sets, geom.ways);
         let atd = AtdCounters::new(
             geom.modules,
             geom.ways,
@@ -93,18 +124,33 @@ impl SetAssocCache {
             geom.sets_per_module(),
             leader_stride.unwrap_or(u32::MAX),
         );
+        let leader_rule = match leader_stride {
+            None => LeaderRule::None,
+            Some(rs) if rs.is_power_of_two() => LeaderRule::Pow2 { mask: rs - 1 },
+            Some(rs) => LeaderRule::Modulo { stride: rs },
+        };
         Self {
             geom,
-            lines: vec![Line::EMPTY; slots],
+            tags: vec![0; slots],
+            bits: vec![SetBits::default(); geom.sets as usize],
+            last_update: vec![0; slots],
             order,
             module_ways: vec![geom.ways; geom.modules as usize],
-            leader_stride,
+            leader_rule,
             atd,
             stats: CacheStats::new(geom.ways),
             valid_lines: 0,
             valid_per_bank: vec![0; geom.banks as usize],
             active_slots: geom.total_slots(),
+            track_retention: true,
         }
+    }
+
+    /// Enables or disables per-access `last_update` maintenance. Disable
+    /// only when no consumer reads line retention clocks (see the field
+    /// doc); [`Self::refresh_line`] still records refreshes regardless.
+    pub fn set_retention_tracking(&mut self, on: bool) {
+        self.track_retention = on;
     }
 
     pub fn geometry(&self) -> &CacheGeometry {
@@ -114,9 +160,10 @@ impl SetAssocCache {
     /// Whether `set` is a profiling leader set (never reconfigured).
     #[inline]
     pub fn is_leader(&self, set: u32) -> bool {
-        match self.leader_stride {
-            Some(rs) => set.is_multiple_of(rs),
-            None => false,
+        match self.leader_rule {
+            LeaderRule::None => false,
+            LeaderRule::Pow2 { mask } => set & mask == 0,
+            LeaderRule::Modulo { stride } => set.is_multiple_of(stride),
         }
     }
 
@@ -146,32 +193,40 @@ impl SetAssocCache {
         let tag = g.tag_of(block);
         let module = g.module_of(set);
         let leader = self.is_leader(set);
-        let mask = self.mask_for_set(set);
+        // Inlined `mask_for_set` so the leader test runs once, not twice.
+        let mask = if leader {
+            full_mask(g.ways)
+        } else {
+            full_mask(self.module_ways[module as usize])
+        };
         let a = g.ways as usize;
-        let base = set as usize * a;
-        let order = &mut self.order[base..base + a];
-        let lines = &mut self.lines[base..base + a];
+        let set_idx = set as usize;
+        let base = set_idx * a;
 
         if write {
             self.stats.writes += 1;
         }
 
-        // Hit scan over enabled ways.
-        for way in 0..a as u8 {
-            if mask & (1u64 << way) == 0 {
-                continue;
-            }
-            let line = &mut lines[way as usize];
-            if line.valid && line.tag == tag {
-                let pos = lru::position_of(order, way);
+        // Hit scan: tag-compare only the valid *and* enabled ways, walking
+        // the candidate bitmask. The tags are bare contiguous u64s, so a
+        // full 16-way set costs two cache lines instead of six.
+        let mut cand = self.bits[set_idx].valid & mask;
+        while cand != 0 {
+            let way = cand.trailing_zeros() as u8;
+            cand &= cand - 1;
+            if self.tags[base + way as usize] == tag {
+                let pos = self.order.touch_returning_pos(set_idx, way);
                 self.stats.hits += 1;
                 self.stats.pos_hits[pos as usize] += 1;
                 if leader {
                     self.atd.record_hit(module, pos);
                 }
-                line.dirty |= write;
-                line.last_update = now;
-                lru::touch(order, way);
+                if write {
+                    self.bits[set_idx].dirty |= 1u64 << way;
+                }
+                if self.track_retention {
+                    self.last_update[base + way as usize] = now;
+                }
                 return AccessOutcome {
                     hit: true,
                     hit_pos: pos,
@@ -190,28 +245,39 @@ impl SetAssocCache {
         // the LRU end so refilled ways reuse the stalest slot first),
         // otherwise the LRU enabled way.
         self.stats.misses += 1;
-        let victim = order
-            .iter()
-            .rev()
-            .copied()
-            .find(|&w| mask & (1u64 << w) != 0 && !lines[w as usize].valid)
-            .or_else(|| lru::lru_victim(order, mask))
-            .expect("a module must always have at least one enabled way");
+        let invalid_enabled = !self.bits[set_idx].valid & mask;
+        let victim = if invalid_enabled != 0 {
+            self.order
+                .find_from_lru(set_idx, |w| invalid_enabled & (1u64 << w) != 0)
+        } else {
+            self.order.lru_victim(set_idx, mask)
+        }
+        .expect("a module must always have at least one enabled way");
 
-        let vline = &mut lines[victim as usize];
+        let vbit = 1u64 << victim;
+        let slot = base + victim as usize;
         let mut writeback = None;
-        let evicted_valid = vline.valid;
-        if vline.valid {
-            if vline.dirty {
-                writeback = Some(g.block_of(vline.tag, set));
+        let evicted_valid = self.bits[set_idx].valid & vbit != 0;
+        if evicted_valid {
+            if self.bits[set_idx].dirty & vbit != 0 {
+                writeback = Some(g.block_of(self.tags[slot], set));
                 self.stats.writebacks += 1;
             }
         } else {
+            self.bits[set_idx].valid |= vbit;
             self.valid_lines += 1;
             self.valid_per_bank[g.bank_of(set) as usize] += 1;
         }
-        vline.fill(tag, write, now);
-        lru::touch(order, victim);
+        self.tags[slot] = tag;
+        if write {
+            self.bits[set_idx].dirty |= vbit;
+        } else {
+            self.bits[set_idx].dirty &= !vbit;
+        }
+        if self.track_retention {
+            self.last_update[slot] = now;
+        }
+        self.order.touch(set_idx, victim);
 
         AccessOutcome {
             hit: false,
@@ -231,15 +297,16 @@ impl SetAssocCache {
         let g = self.geom;
         let set = g.set_of(block);
         let tag = g.tag_of(block);
-        let mask = self.mask_for_set(set);
-        let a = g.ways as usize;
-        let base = set as usize * a;
-        (0..a as u8).any(|w| {
-            mask & (1u64 << w) != 0 && {
-                let l = &self.lines[base + w as usize];
-                l.valid && l.tag == tag
+        let base = set as usize * g.ways as usize;
+        let mut cand = self.bits[set as usize].valid & self.mask_for_set(set);
+        while cand != 0 {
+            let way = cand.trailing_zeros() as usize;
+            cand &= cand - 1;
+            if self.tags[base + way] == tag {
+                return true;
             }
-        })
+        }
+        false
     }
 
     /// Reconfigures module `m` to keep exactly `new_ways` ways active in
@@ -257,7 +324,6 @@ impl SetAssocCache {
             return ReconfigOutcome::default();
         }
         let g = self.geom;
-        let a = g.ways as usize;
         let spm = g.sets_per_module();
         let first_set = u32::from(m) * spm;
         let mut out = ReconfigOutcome::default();
@@ -269,16 +335,17 @@ impl SetAssocCache {
             }
             follower_sets += 1;
             if new_ways < old {
-                let base = set as usize * a;
+                let set_idx = set as usize;
                 for way in new_ways..old {
-                    let line = &mut self.lines[base + way as usize];
-                    if line.valid {
-                        if line.dirty {
+                    let bit = 1u64 << way;
+                    if self.bits[set_idx].valid & bit != 0 {
+                        if self.bits[set_idx].dirty & bit != 0 {
                             out.writebacks += 1;
                         } else {
                             out.discards += 1;
                         }
-                        line.invalidate();
+                        self.bits[set_idx].valid &= !bit;
+                        self.bits[set_idx].dirty &= !bit;
                         self.valid_lines -= 1;
                         self.valid_per_bank[g.bank_of(set) as usize] -= 1;
                     }
@@ -314,15 +381,17 @@ impl SetAssocCache {
     /// the RPD refresh policy, which eagerly invalidates clean blocks
     /// instead of refreshing them.
     pub fn invalidate_line(&mut self, set: u32, way: u8) -> (bool, bool) {
-        let bank = self.geom.bank_of(set) as usize;
-        let line = &mut self.lines[set as usize * self.geom.ways as usize + way as usize];
-        let was = (line.valid, line.dirty);
-        if line.valid {
-            line.invalidate();
+        let set_idx = set as usize;
+        let bit = 1u64 << way;
+        let was_valid = self.bits[set_idx].valid & bit != 0;
+        let was_dirty = self.bits[set_idx].dirty & bit != 0;
+        if was_valid {
+            self.bits[set_idx].valid &= !bit;
+            self.bits[set_idx].dirty &= !bit;
             self.valid_lines -= 1;
-            self.valid_per_bank[bank] -= 1;
+            self.valid_per_bank[self.geom.bank_of(set) as usize] -= 1;
         }
-        was
+        (was_valid, was_dirty)
     }
 
     /// Number of powered-on line slots (leader sets count fully).
@@ -335,26 +404,42 @@ impl SetAssocCache {
         self.active_slots as f64 / self.geom.total_slots() as f64
     }
 
+    /// Snapshot of one line slot's state. (The storage is struct-of-arrays
+    /// internally, so this assembles a [`Line`] view by value; an invalid
+    /// slot reports its stale tag/`last_update`.)
     #[inline]
-    pub fn line(&self, set: u32, way: u8) -> &Line {
-        &self.lines[set as usize * self.geom.ways as usize + way as usize]
+    pub fn line(&self, set: u32, way: u8) -> Line {
+        let set_idx = set as usize;
+        let slot = set_idx * self.geom.ways as usize + way as usize;
+        let bit = 1u64 << way;
+        Line {
+            tag: self.tags[slot],
+            valid: self.bits[set_idx].valid & bit != 0,
+            dirty: self.bits[set_idx].dirty & bit != 0,
+            last_update: self.last_update[slot],
+        }
     }
 
+    /// Restores the charge of one line (a refresh): bumps `last_update`
+    /// and returns whether the line was valid (invalid slots are ignored).
     #[inline]
-    pub fn line_mut(&mut self, set: u32, way: u8) -> &mut Line {
-        &mut self.lines[set as usize * self.geom.ways as usize + way as usize]
+    pub fn refresh_line(&mut self, set: u32, way: u8, now: u64) -> bool {
+        let set_idx = set as usize;
+        if self.bits[set_idx].valid & (1u64 << way) == 0 {
+            return false;
+        }
+        self.last_update[set_idx * self.geom.ways as usize + way as usize] = now;
+        true
     }
 
     /// Visits every valid line (used by refresh engines).
-    pub fn for_each_valid(&self, mut f: impl FnMut(u32, u8, &Line)) {
-        let a = self.geom.ways as usize;
+    pub fn for_each_valid(&self, mut f: impl FnMut(u32, u8, Line)) {
         for set in 0..self.geom.sets {
-            let base = set as usize * a;
-            for way in 0..a as u8 {
-                let l = &self.lines[base + way as usize];
-                if l.valid {
-                    f(set, way, l);
-                }
+            let mut bits = self.bits[set as usize].valid;
+            while bits != 0 {
+                let way = bits.trailing_zeros() as u8;
+                bits &= bits - 1;
+                f(set, way, self.line(set, way));
             }
         }
     }
@@ -362,7 +447,7 @@ impl SetAssocCache {
     /// Recomputed (non-incremental) valid-line count, for invariant checks.
     #[doc(hidden)]
     pub fn recount_valid(&self) -> u64 {
-        self.lines.iter().filter(|l| l.valid).count() as u64
+        self.bits.iter().map(|b| u64::from(b.valid.count_ones())).sum()
     }
 }
 

@@ -85,9 +85,11 @@ impl CacheGeometry {
         u64::from(self.sets) * u64::from(self.ways)
     }
 
-    /// Sets per module.
+    /// Sets per module. `modules` divides the power-of-two `sets`, so it
+    /// is itself a power of two and this is a shift.
+    #[inline]
     pub fn sets_per_module(&self) -> u32 {
-        self.sets / u32::from(self.modules)
+        self.sets >> u32::from(self.modules).trailing_zeros()
     }
 
     /// Set index of a block address (low bits, standard modulo indexing).
@@ -110,18 +112,20 @@ impl CacheGeometry {
     }
 
     /// Bank of a set. Consecutive sets stripe across banks, so uniform set
-    /// usage spreads evenly over banks.
+    /// usage spreads evenly over banks. `banks` divides the power-of-two
+    /// `sets`, so the modulo reduces to a mask (this sits on the per-access
+    /// hot path).
     #[inline]
     pub fn bank_of(&self, set: u32) -> u8 {
-        (set % u32::from(self.banks)) as u8
+        (set & (u32::from(self.banks) - 1)) as u8
     }
 
     /// Module owning a set. Modules are *contiguous* ranges of sets, per the
     /// paper's example ("with 4096 sets and 16 modules, each module has 256
-    /// sets").
+    /// sets"). Like [`Self::bank_of`], a shift rather than a division.
     #[inline]
     pub fn module_of(&self, set: u32) -> u16 {
-        (set / self.sets_per_module()) as u16
+        (set >> self.sets_per_module().trailing_zeros()) as u16
     }
 
     /// Storage overhead of the ESTEEM counters as a percentage of the cache

@@ -3,6 +3,17 @@
 use esteem_cache::SetAssocCache;
 use esteem_workloads::{AccessStream, BenchmarkProfile, Bundle};
 
+/// Fixed-point shift for per-core cycle accounting: cycles are tracked
+/// as `u64` in units of 2^-20 cycles (~1e-6 cycle resolution, headroom
+/// to 2^44 cycles ≈ 4.8 hours at 1 GHz). Integer accounting keeps the
+/// per-instruction inner loop free of f64 compares and makes cycle
+/// arithmetic exactly associative (bit-deterministic regardless of
+/// accumulation order).
+pub const CYCLE_FP_SHIFT: u32 = 20;
+
+/// One cycle in fixed-point units.
+pub const CYCLE_FP_ONE: u64 = 1 << CYCLE_FP_SHIFT;
+
 /// One core: its workload stream, private L1D, and local clock.
 ///
 /// The timing model (DESIGN.md §3 substitution 2): a bundle of `n`
@@ -18,20 +29,24 @@ pub struct CoreState {
     pub id: u32,
     stream: AccessStream,
     pub l1d: SetAssocCache,
-    /// Local clock, fractional cycles.
-    pub cycles: f64,
+    /// Local clock in fixed-point units of 2^-20 cycles
+    /// (see [`CYCLE_FP_SHIFT`]).
+    pub cycles_fp: u64,
     /// Instructions retired (including warm-up).
     pub instructions: u64,
     /// Instruction count when warm-up ended (set by the simulator).
     pub instrs_at_warmup: Option<u64>,
-    /// Cycle count when warm-up ended (set by the simulator).
-    pub cycles_at_warmup: Option<f64>,
+    /// Fixed-point cycle count when warm-up ended (set by the simulator).
+    pub cycles_at_warmup: Option<u64>,
     /// *Measured* instructions after warm-up at which IPC is recorded.
     pub target_instructions: u64,
-    /// Cycle count when the target was reached (`None` until then).
-    pub cycles_at_target: Option<f64>,
-    cpi_base: f64,
-    mlp: f64,
+    /// Fixed-point cycle count when the target was reached (`None` until
+    /// then).
+    pub cycles_at_target: Option<u64>,
+    /// `cpi_base` in fixed-point cycle units per instruction.
+    cpi_fp: u64,
+    /// Fixed-point units per visible stall cycle: `2^20 / mlp`.
+    fp_per_stall_cycle: f64,
 }
 
 impl CoreState {
@@ -46,15 +61,27 @@ impl CoreState {
             id,
             stream: AccessStream::new(profile, id, seed),
             l1d,
-            cycles: 0.0,
+            cycles_fp: 0,
             instructions: 0,
             instrs_at_warmup: None,
             cycles_at_warmup: None,
             target_instructions,
             cycles_at_target: None,
-            cpi_base: profile.cpi_base,
-            mlp: profile.mlp,
+            cpi_fp: (profile.cpi_base * CYCLE_FP_ONE as f64).round() as u64,
+            fp_per_stall_cycle: CYCLE_FP_ONE as f64 / profile.mlp,
         }
+    }
+
+    /// Local clock in whole cycles (what the cache/refresh models see).
+    #[inline]
+    pub fn cycle(&self) -> u64 {
+        self.cycles_fp >> CYCLE_FP_SHIFT
+    }
+
+    /// Local clock in (fractional) cycles, for reporting.
+    #[inline]
+    pub fn cycles_f64(&self) -> f64 {
+        self.cycles_fp as f64 / CYCLE_FP_ONE as f64
     }
 
     /// Marks the end of this core's warm-up (called once by the simulator
@@ -62,7 +89,7 @@ impl CoreState {
     pub fn mark_warmup(&mut self) {
         debug_assert!(self.cycles_at_warmup.is_none());
         self.instrs_at_warmup = Some(self.instructions);
-        self.cycles_at_warmup = Some(self.cycles);
+        self.cycles_at_warmup = Some(self.cycles_fp);
     }
 
     /// Whether this core has finished its warm-up region.
@@ -80,26 +107,31 @@ impl CoreState {
     /// Pulls the next bundle and charges its execution cycles; the memory
     /// reference is returned for the system to route through the
     /// hierarchy. Call [`Self::stall`] with the resulting visible latency.
+    #[inline]
     pub fn fetch_bundle(&mut self) -> Bundle {
         let b = self.stream.next_bundle();
-        self.cycles += f64::from(b.instrs) * self.cpi_base;
+        self.cycles_fp += u64::from(b.instrs) * self.cpi_fp;
         self.instructions += u64::from(b.instrs);
         b
     }
 
     /// Charges a memory stall of `latency` raw cycles, applying the
     /// overlap window and the benchmark's MLP.
+    #[inline]
     pub fn stall(&mut self, latency: f64, overlap: f64) {
-        let visible = (latency - overlap).max(0.0);
-        self.cycles += visible / self.mlp;
+        let visible = latency - overlap;
+        if visible > 0.0 {
+            self.cycles_fp += (visible * self.fp_per_stall_cycle) as u64;
+        }
     }
 
     /// Records the IPC measurement point if just crossed.
+    #[inline]
     pub fn note_progress(&mut self) {
         if self.cycles_at_target.is_none() {
             if let Some(w) = self.instrs_at_warmup {
                 if self.instructions >= w + self.target_instructions {
-                    self.cycles_at_target = Some(self.cycles);
+                    self.cycles_at_target = Some(self.cycles_fp);
                 }
             }
         }
@@ -111,7 +143,7 @@ impl CoreState {
             .cycles_at_target
             .expect("IPC requested before the core reached its target");
         let w = self.cycles_at_warmup.expect("target implies warmed");
-        self.target_instructions as f64 / (c - w)
+        self.target_instructions as f64 / ((c - w) as f64 / CYCLE_FP_ONE as f64)
     }
 
     pub fn profile(&self) -> &BenchmarkProfile {
@@ -135,13 +167,32 @@ mod tests {
         let mut c = CoreState::new(0, &p, l1(), 1000, 7);
         c.mark_warmup();
         let b = c.fetch_bundle();
-        assert!((c.cycles - f64::from(b.instrs) * p.cpi_base).abs() < 1e-9);
+        // Fixed-point quantises cpi_base to 2^-20 cycle units: exact to
+        // ~1e-6 per instruction.
+        let tol = f64::from(b.instrs) / CYCLE_FP_ONE as f64;
+        assert!((c.cycles_f64() - f64::from(b.instrs) * p.cpi_base).abs() <= tol);
         c.stall(100.0, 8.0);
-        assert!((c.cycles - (f64::from(b.instrs) * p.cpi_base + 92.0 / p.mlp)).abs() < 1e-9);
+        let expect = f64::from(b.instrs) * p.cpi_base + 92.0 / p.mlp;
+        assert!((c.cycles_f64() - expect).abs() <= tol + 1.0 / CYCLE_FP_ONE as f64);
         // Overlap swallows short latencies entirely.
-        let before = c.cycles;
+        let before = c.cycles_fp;
         c.stall(5.0, 8.0);
-        assert_eq!(c.cycles, before);
+        assert_eq!(c.cycles_fp, before);
+    }
+
+    #[test]
+    fn fixed_point_accumulation_is_exact_integer_math() {
+        let p = benchmark_by_name("gamess").unwrap();
+        let mut a = CoreState::new(0, &p, l1(), 1000, 7);
+        let mut b = CoreState::new(0, &p, l1(), 1000, 7);
+        // Same bundles in the same order must give bit-identical clocks.
+        for _ in 0..1000 {
+            a.fetch_bundle();
+            b.fetch_bundle();
+        }
+        assert_eq!(a.cycles_fp, b.cycles_fp);
+        // Whole-cycle view is the floor of the fractional clock.
+        assert_eq!(a.cycle(), (a.cycles_f64().floor()) as u64);
     }
 
     #[test]

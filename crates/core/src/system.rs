@@ -7,7 +7,7 @@ use esteem_mem::MainMemory;
 use esteem_workloads::BenchmarkProfile;
 
 use crate::config::SystemConfig;
-use crate::core_model::CoreState;
+use crate::core_model::{CoreState, CYCLE_FP_SHIFT};
 use crate::esteem::EsteemController;
 use crate::report::{CoreReport, SimReport};
 
@@ -42,6 +42,9 @@ pub struct Simulator {
     n_l: u64,
     reconfig_writebacks: u64,
     reconfig_discards: u64,
+    /// Reusable buffer for per-bank refresh drains (avoids a Vec
+    /// allocation every contention window).
+    bank_refresh_scratch: Vec<u64>,
     /// System-counter snapshot at the end of warm-up (see type docs).
     snap: Option<Snapshot>,
 }
@@ -72,7 +75,10 @@ impl Simulator {
             cfg.cores as usize,
             "one benchmark profile per core"
         );
-        let l2 = SetAssocCache::new(cfg.l2_geometry(), cfg.leader_stride());
+        let mut l2 = SetAssocCache::new(cfg.l2_geometry(), cfg.leader_stride());
+        // Only the polyphase refresh family consults per-line retention
+        // clocks on demand accesses; skip the bookkeeping otherwise.
+        l2.set_retention_tracking(cfg.technique.refresh_policy().is_polyphase());
         let refresh = RefreshEngine::new(cfg.technique.refresh_policy(), cfg.retention, &l2);
         let contention = BankContention::new(cfg.l2_banks, cfg.retention.period_cycles)
             .with_params(2.0, cfg.bank_burst_lines);
@@ -85,13 +91,10 @@ impl Simulator {
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                CoreState::new(
-                    i as u32,
-                    p,
-                    SetAssocCache::new(cfg.l1_geometry(), None),
-                    cfg.sim_instructions,
-                    cfg.seed,
-                )
+                // The SRAM L1s have no retention clock to maintain.
+                let mut l1 = SetAssocCache::new(cfg.l1_geometry(), None);
+                l1.set_retention_tracking(false);
+                CoreState::new(i as u32, p, l1, cfg.sim_instructions, cfg.seed)
             })
             .collect();
         let next_window = cfg.retention.period_cycles;
@@ -110,6 +113,7 @@ impl Simulator {
             n_l: 0,
             reconfig_writebacks: 0,
             reconfig_discards: 0,
+            bank_refresh_scratch: Vec::new(),
             snap: None,
         }
     }
@@ -163,21 +167,24 @@ impl Simulator {
 
     /// Executes one instruction bundle on core `i`.
     fn step_core(&mut self, i: usize) {
-        let bundle = self.cores[i].fetch_bundle();
-        let now = self.cores[i].cycles as u64;
-        let l1 = self.cores[i]
-            .l1d
-            .access(bundle.mem.block, bundle.mem.write, now);
-        if !l1.hit {
-            // Demand fill: the L2 copy stays clean (write-back L1 owns the
-            // dirtiness until eviction).
-            let lat = self.l2_access(bundle.mem.block, false, false, now);
-            let overlap = self.cfg.overlap_cycles;
-            self.cores[i].stall(lat, overlap);
-            // Evicted dirty L1 line: posted full-line write to the L2.
-            if let Some(wb) = l1.writeback {
-                let _ = self.l2_access(wb, true, true, now);
-            }
+        // Borrow the core once: the (dominant) L1-hit path never touches
+        // the rest of the system, so it stays free of repeated indexing.
+        let core = &mut self.cores[i];
+        let bundle = core.fetch_bundle();
+        let now = core.cycle();
+        let l1 = core.l1d.access(bundle.mem.block, bundle.mem.write, now);
+        if l1.hit {
+            core.note_progress();
+            return;
+        }
+        // Demand fill: the L2 copy stays clean (write-back L1 owns the
+        // dirtiness until eviction).
+        let lat = self.l2_access(bundle.mem.block, false, false, now);
+        let overlap = self.cfg.overlap_cycles;
+        self.cores[i].stall(lat, overlap);
+        // Evicted dirty L1 line: posted full-line write to the L2.
+        if let Some(wb) = l1.writeback {
+            let _ = self.l2_access(wb, true, true, now);
         }
         self.cores[i].note_progress();
     }
@@ -186,8 +193,10 @@ impl Simulator {
     fn quantum_end(&mut self, qend: u64) {
         self.refresh.advance(&mut self.l2, qend);
         if qend >= self.next_window {
-            let refr = self.refresh.drain_bank_refreshes();
+            let mut refr = std::mem::take(&mut self.bank_refresh_scratch);
+            self.refresh.drain_bank_refreshes_into(&mut refr);
             self.contention.roll_window(qend, &refr);
+            self.bank_refresh_scratch = refr;
             self.mem.roll_window(qend);
             while self.next_window <= qend {
                 self.next_window += self.cfg.retention.period_cycles;
@@ -218,8 +227,11 @@ impl Simulator {
         let single = self.cores.len() == 1;
         while self.cores.iter().any(|c| !c.reached_target()) {
             let qend = self.clock + self.cfg.quantum_cycles;
+            // Quantum boundary in fixed-point units: the inner loop is a
+            // pure integer compare per instruction bundle.
+            let qend_fp = qend << CYCLE_FP_SHIFT;
             for i in 0..self.cores.len() {
-                while self.cores[i].cycles < qend as f64 {
+                while self.cores[i].cycles_fp < qend_fp {
                     if single && self.cores[i].reached_target() {
                         break;
                     }
@@ -263,8 +275,10 @@ impl Simulator {
             .iter()
             .map(|c| CoreReport {
                 instructions: c.target_instructions,
-                cycles: c.cycles_at_target.expect("run() completed")
-                    - c.cycles_at_warmup.expect("target implies warmed"),
+                cycles: (c.cycles_at_target.expect("run() completed")
+                    - c.cycles_at_warmup.expect("target implies warmed"))
+                    as f64
+                    / crate::core_model::CYCLE_FP_ONE as f64,
                 ipc: c.ipc(),
                 l1_hits: c.l1d.stats.hits,
                 l1_misses: c.l1d.stats.misses,

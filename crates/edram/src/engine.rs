@@ -41,6 +41,9 @@ pub struct RefreshEngine {
     bank_window: Vec<u64>,
     total_refreshes: u64,
     total_invalidations: u64,
+    /// Reusable scrub-victim buffer (multi-periodic policy): avoids a
+    /// Vec allocation per scrub pass.
+    scratch_victims: Vec<(u32, u8)>,
 }
 
 impl RefreshEngine {
@@ -71,6 +74,7 @@ impl RefreshEngine {
             bank_window: vec![0; g.banks as usize],
             total_refreshes: 0,
             total_invalidations: 0,
+            scratch_victims: Vec::new(),
         }
     }
 
@@ -135,9 +139,10 @@ impl RefreshEngine {
             }
             RefreshPolicy::PeriodicValid => {
                 while self.next_period_end <= to_cycle {
-                    let per_bank: Vec<u64> = cache.valid_lines_per_bank().to_vec();
-                    for (b, n) in per_bank.iter().enumerate() {
-                        self.bank_window[b] += n;
+                    // Borrow the per-bank counts directly: `cache` and
+                    // `self.bank_window` are disjoint, so no copy is needed.
+                    for (w, n) in self.bank_window.iter_mut().zip(cache.valid_lines_per_bank()) {
+                        *w += n;
                         report.refreshes += n;
                     }
                     self.next_period_end += self.retention.period_cycles;
@@ -146,11 +151,13 @@ impl RefreshEngine {
             RefreshPolicy::MultiPeriodic { periods, ecc_bits } => {
                 let k = periods.max(1);
                 let stretch = self.retention.period_cycles * u64::from(k);
+                // Reuse the scrub-victim buffer across periods and calls.
+                let mut victims = std::mem::take(&mut self.scratch_victims);
                 while self.next_period_end <= to_cycle {
                     // Scrub pass over valid lines: refresh the survivors,
                     // invalidate the (deterministic) uncorrectable ones.
                     let g = *cache.geometry();
-                    let mut victims: Vec<(u32, u8)> = Vec::new();
+                    victims.clear();
                     cache.for_each_valid(|set, way, _| {
                         let line = set * u32::from(g.ways) + u32::from(way);
                         if self.variation.line_fails(line, k, ecc_bits) {
@@ -160,41 +167,43 @@ impl RefreshEngine {
                             report.refreshes += 1;
                         }
                     });
-                    for (set, way) in victims {
+                    for &(set, way) in &victims {
                         cache.invalidate_line(set, way);
                         report.invalidations += 1;
                     }
                     self.next_period_end += stretch;
                 }
+                self.scratch_victims = victims;
             }
             RefreshPolicy::PolyphaseValid { .. } => {
                 let sched = self.sched.as_mut().expect("polyphase has a scheduler");
-                let ways = u32::from(self.ways);
+                let split = split_line(self.ways);
+                let g = *cache.geometry();
                 let banks = &mut self.bank_window;
                 sched.advance(to_cycle, |line, boundary| {
-                    let (set, way) = (line / ways, (line % ways) as u8);
-                    let l = cache.line_mut(set, way);
-                    if !l.valid {
+                    let (set, way) = split(line);
+                    if !cache.refresh_line(set, way, boundary) {
                         return DueAction::Drop;
                     }
-                    l.last_update = boundary;
-                    banks[cache.geometry().bank_of(set) as usize] += 1;
+                    banks[g.bank_of(set) as usize] += 1;
                     report.refreshes += 1;
                     DueAction::Refreshed
                 });
             }
             RefreshPolicy::PolyphaseDirty { .. } => {
                 let sched = self.sched.as_mut().expect("polyphase has a scheduler");
-                let ways = u32::from(self.ways);
+                let split = split_line(self.ways);
+                let g = *cache.geometry();
                 let banks = &mut self.bank_window;
                 sched.advance(to_cycle, |line, boundary| {
-                    let (set, way) = (line / ways, (line % ways) as u8);
-                    if !cache.line(set, way).valid {
+                    let (set, way) = split(line);
+                    let l = cache.line(set, way);
+                    if !l.valid {
                         return DueAction::Drop;
                     }
-                    if cache.line(set, way).dirty {
-                        cache.line_mut(set, way).last_update = boundary;
-                        banks[cache.geometry().bank_of(set) as usize] += 1;
+                    if l.dirty {
+                        cache.refresh_line(set, way, boundary);
+                        banks[g.bank_of(set) as usize] += 1;
                         report.refreshes += 1;
                         DueAction::Refreshed
                     } else {
@@ -224,9 +233,18 @@ impl RefreshEngine {
     /// Per-bank refresh ops since the previous drain; resets the window.
     /// The system simulator calls this at each contention-window boundary.
     pub fn drain_bank_refreshes(&mut self) -> Vec<u64> {
-        let out = self.bank_window.clone();
-        self.bank_window.fill(0);
+        let mut out = Vec::new();
+        self.drain_bank_refreshes_into(&mut out);
         out
+    }
+
+    /// Allocation-free variant of [`Self::drain_bank_refreshes`]: copies
+    /// the per-bank window into `out` (cleared first) and resets it. The
+    /// hot simulator loop calls this with a reusable scratch buffer.
+    pub fn drain_bank_refreshes_into(&mut self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.bank_window);
+        self.bank_window.fill(0);
     }
 
     /// Lifetime refresh count (`N_R` deltas are taken from this).
@@ -240,6 +258,23 @@ impl RefreshEngine {
 
     pub fn retention(&self) -> RetentionSpec {
         self.retention
+    }
+}
+
+/// Decomposes a packed line id back into `(set, way)`. The polyphase drain
+/// does this once per due line; every real geometry has power-of-two
+/// associativity, so prefer shift/mask over two hardware divisions (the
+/// branch is on a captured constant, predicted after the first entry).
+#[inline]
+fn split_line(ways: u8) -> impl Fn(u32) -> (u32, u8) {
+    let w = u32::from(ways);
+    let shift = w.trailing_zeros();
+    move |line: u32| {
+        if w.is_power_of_two() {
+            (line >> shift, (line & (w - 1)) as u8)
+        } else {
+            (line / w, (line % w) as u8)
+        }
     }
 }
 

@@ -16,7 +16,15 @@
 //!
 //! All due cycles are multiples of the phase length, so a bucket maps to
 //! exactly one boundary at a time as long as the ring spans more than one
-//! retention period (`ring_len = 2 * phases + 2`).
+//! retention period (`ring_len = (2 * phases + 2).next_power_of_two()`;
+//! rounding up to a power of two makes the bucket index a mask).
+//!
+//! `touch` sits on the L2 access hot path (every hit and fill of a
+//! polyphase technique lands here), so the phase-floor computation avoids
+//! hardware division: the phase length is inverted once at construction
+//! into a 64-bit fixed-point reciprocal and each quotient is a widening
+//! multiply plus shift (exact for the cycle ranges the simulator can
+//! produce; see [`PhaseDiv`]).
 
 /// What the policy callback decided for a due line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,17 +37,69 @@ pub enum DueAction {
 }
 
 /// Sentinel meaning "not scheduled".
-const UNSCHEDULED: u64 = u64::MAX;
+const UNSCHEDULED: u32 = u32::MAX;
+
+/// Division by a fixed phase length via a precomputed 64-bit reciprocal.
+///
+/// `magic = ceil(2^64 / d)`, so `(x * magic) >> 64 = floor(x/d)` whenever
+/// `x * (magic*d - 2^64) < 2^64`; since the rounding excess is at most `d`,
+/// gating on `d <= 2^20` makes the fast path exact for every `x < 2^44` —
+/// far beyond any cycle count the simulator reaches (a full run is under
+/// 2^40 cycles). Larger or unit divisors fall back to plain division.
+#[derive(Debug, Clone, Copy)]
+struct PhaseDiv {
+    d: u64,
+    /// `ceil(2^64 / d)` when the fast path applies, else 0.
+    magic: u64,
+}
+
+impl PhaseDiv {
+    fn new(d: u64) -> Self {
+        assert!(d >= 1);
+        let magic = if d > 1 && d <= (1 << 20) {
+            (u128::from(u64::MAX) / u128::from(d) + 1) as u64
+        } else {
+            0
+        };
+        Self { d, magic }
+    }
+
+    /// `floor(x / d)`.
+    #[inline]
+    fn quot(&self, x: u64) -> u64 {
+        let q = if self.d == 1 {
+            x
+        } else if self.magic != 0 {
+            ((u128::from(x) * u128::from(self.magic)) >> 64) as u64
+        } else {
+            x / self.d
+        };
+        debug_assert_eq!(q, x / self.d, "reciprocal division wrong for x={x}");
+        q
+    }
+}
 
 #[derive(Debug, Clone)]
 pub struct PolyphaseScheduler {
     phase_len: u64,
-    retention: u64,
+    /// Reciprocal divider for `phase_len` (the hot-path phase floor).
+    phase_div: PhaseDiv,
+    /// `retention / phase_len`: bucket distance of one retention period.
+    phases: u64,
     ring: Vec<Vec<u32>>,
-    /// Authoritative due cycle per line id (`UNSCHEDULED` if none).
-    due: Vec<u64>,
+    /// `ring.len() - 1`; the ring length is a power of two.
+    ring_mask: u64,
+    /// Authoritative due boundary per line, stored as a phase index
+    /// (`due_cycle / phase_len`, `UNSCHEDULED` if none). Touch and drain
+    /// both hit this array at random line offsets, one entry per L2 line;
+    /// u32 halves it so the working set stays cache-resident. Phase
+    /// indices fit easily: a full run is under 2^40 cycles and the
+    /// shortest real phase is tens of thousands of cycles.
+    due: Vec<u32>,
     /// Next phase boundary not yet processed.
     next_boundary: u64,
+    /// `next_boundary / phase_len`, maintained incrementally.
+    next_boundary_quot: u64,
 }
 
 impl PolyphaseScheduler {
@@ -50,31 +110,40 @@ impl PolyphaseScheduler {
             "retention ({retention_cycles}) must be a multiple of the phase count ({phases})"
         );
         let phase_len = retention_cycles / u64::from(phases);
-        let ring_len = (2 * phases as usize) + 2;
+        let ring_len = (2 * phases as usize + 2).next_power_of_two();
         Self {
             phase_len,
-            retention: retention_cycles,
+            phase_div: PhaseDiv::new(phase_len),
+            phases: u64::from(phases),
             ring: vec![Vec::new(); ring_len],
+            ring_mask: ring_len as u64 - 1,
             due: vec![UNSCHEDULED; total_lines as usize],
             next_boundary: phase_len,
+            next_boundary_quot: 1,
         }
     }
 
+    /// Bucket of a boundary given its phase index (`boundary / phase_len`).
     #[inline]
-    fn bucket_of(&self, due: u64) -> usize {
-        ((due / self.phase_len) % self.ring.len() as u64) as usize
+    fn bucket_of_quot(&self, quot: u64) -> usize {
+        (quot & self.ring_mask) as usize
     }
 
     /// Records a charge-restoring event (fill, hit, refresh) on `line` at
     /// `cycle`; the line's next refresh is due at the start of this phase,
     /// one retention period later.
     pub fn touch(&mut self, line: u32, cycle: u64) {
-        let due = (cycle / self.phase_len) * self.phase_len + self.retention;
-        if self.due[line as usize] == due {
+        // due = phase_floor(cycle) + retention; since retention is exactly
+        // `phases` phase lengths, the due boundary's phase index is the
+        // cycle's quotient plus `phases` — one quotient, no second divide.
+        let q = self.phase_div.quot(cycle);
+        let due_q = q + self.phases;
+        debug_assert!(due_q < u64::from(UNSCHEDULED), "phase index overflows u32");
+        if self.due[line as usize] == due_q as u32 {
             return; // re-touched within the same phase: already queued
         }
-        self.due[line as usize] = due;
-        let b = self.bucket_of(due);
+        self.due[line as usize] = due_q as u32;
+        let b = self.bucket_of_quot(due_q);
         self.ring[b].push(line);
     }
 
@@ -88,7 +157,7 @@ impl PolyphaseScheduler {
     pub fn due_of(&self, line: u32) -> Option<u64> {
         match self.due[line as usize] {
             UNSCHEDULED => None,
-            d => Some(d),
+            d => Some(u64::from(d) * self.phase_len),
         }
     }
 
@@ -98,17 +167,25 @@ impl PolyphaseScheduler {
     pub fn advance(&mut self, to: u64, mut on_due: impl FnMut(u32, u64) -> DueAction) {
         while self.next_boundary <= to {
             let boundary = self.next_boundary;
-            let b = self.bucket_of(boundary);
-            let entries = std::mem::take(&mut self.ring[b]);
-            for line in entries {
-                if self.due[line as usize] != boundary {
+            let bq = self.next_boundary_quot;
+            let b = self.bucket_of_quot(bq);
+            // Swap the bucket out (not `mem::take`, which would free its
+            // allocation: swapping back afterwards keeps the bucket's grown
+            // capacity across ring revolutions instead of re-growing from
+            // zero every period).
+            let mut entries = Vec::new();
+            std::mem::swap(&mut entries, &mut self.ring[b]);
+            for &line in &entries {
+                if self.due[line as usize] != bq as u32 {
                     continue; // stale (re-touched or unscheduled)
                 }
                 match on_due(line, boundary) {
                     DueAction::Refreshed => {
-                        let due = boundary + self.retention;
-                        self.due[line as usize] = due;
-                        let nb = self.bucket_of(due);
+                        self.due[line as usize] = (bq + self.phases) as u32;
+                        // One retention period is `phases` boundaries ahead;
+                        // `phases < ring_len`, so never bucket `b` itself —
+                        // the drained bucket stays empty while we iterate.
+                        let nb = self.bucket_of_quot(bq + self.phases);
                         self.ring[nb].push(line);
                     }
                     DueAction::Drop => {
@@ -116,7 +193,11 @@ impl PolyphaseScheduler {
                     }
                 }
             }
+            debug_assert!(self.ring[b].is_empty(), "drained bucket repopulated");
+            entries.clear();
+            std::mem::swap(&mut entries, &mut self.ring[b]);
             self.next_boundary += self.phase_len;
+            self.next_boundary_quot += 1;
         }
     }
 
@@ -210,6 +291,17 @@ mod tests {
     }
 
     proptest! {
+        /// The fixed-point reciprocal agrees with hardware division across
+        /// the divisor range it claims (including the gate boundaries).
+        #[test]
+        fn phase_div_matches_division(
+            d in prop_oneof![1u64..=1 << 21, (1u64 << 20) - 2..(1 << 20) + 2, 1u64 << 20..1 << 32],
+            x in 0u64..1 << 44,
+        ) {
+            let pd = PhaseDiv::new(d);
+            prop_assert_eq!(pd.quot(x), x / d);
+        }
+
         /// Safety: with a Refreshed answer to every due event, the gap
         /// between consecutive charge-restoring events of a line never
         /// exceeds one retention period plus one phase (the worst-case

@@ -174,7 +174,11 @@ fn main() -> ExitCode {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
-        eprintln!("[{e}] finished in {:.1}s", started.elapsed().as_secs_f64());
+        let (hits, misses) = esteem_harness::runcache::stats();
+        eprintln!(
+            "[{e}] finished in {:.1}s (run cache: {hits} hits, {misses} misses)",
+            started.elapsed().as_secs_f64()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -2,10 +2,11 @@
 //! one workload under every technique. Used for calibration and by the
 //! `policy_explorer` example.
 
-use esteem_core::{SimReport, Simulator, Technique};
+use esteem_core::{SimReport, Technique};
 use esteem_workloads::benchmark_by_name;
 use serde::{Deserialize, Serialize};
 
+use crate::runcache::run_cached;
 use crate::tablefmt::{f, Table};
 use crate::{default_algo, single_core_cfg, Scale};
 
@@ -71,7 +72,11 @@ pub fn run(scale: Scale, benchmark: &str) -> Vec<PowerRow> {
     ]
     .iter()
     .map(|&t| {
-        let r = Simulator::single(single_core_cfg(t, scale, 50.0), &b).run();
+        let r = run_cached(
+            single_core_cfg(t, scale, 50.0),
+            std::slice::from_ref(&b),
+            benchmark,
+        );
         PowerRow::from_report(&r)
     })
     .collect()

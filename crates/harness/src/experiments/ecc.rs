@@ -8,12 +8,13 @@
 //! performance, and the scrub-invalidation volume — then put ESTEEM's
 //! operating point next to it.
 
-use esteem_core::{Simulator, Technique};
+use esteem_core::Technique;
 use esteem_energy::metrics;
 use esteem_par::{parallel_map_with, ParConfig};
 use esteem_workloads::benchmark_by_name;
 use serde::{Deserialize, Serialize};
 
+use crate::runcache::run_cached;
 use crate::tablefmt::{f, Table};
 use crate::{default_algo, single_core_cfg, Scale};
 
@@ -52,8 +53,10 @@ pub fn run(scale: Scale, threads: usize, benchmarks: &[&str]) -> Vec<EccRow> {
     };
     parallel_map_with(&cfg, &jobs, |(bench, tech, label)| {
         let p = benchmark_by_name(bench).expect("known benchmark");
-        let base = Simulator::single(single_core_cfg(Technique::Baseline, scale, 50.0), &p).run();
-        let r = Simulator::single(single_core_cfg(*tech, scale, 50.0), &p).run();
+        let ps = std::slice::from_ref(&p);
+        // Memoized: the 13 sweep points per benchmark share one baseline.
+        let base = run_cached(single_core_cfg(Technique::Baseline, scale, 50.0), ps, bench);
+        let r = run_cached(single_core_cfg(*tech, scale, 50.0), ps, bench);
         EccRow {
             benchmark: bench.clone(),
             label: label.clone(),

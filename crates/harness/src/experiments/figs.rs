@@ -4,12 +4,13 @@
 //! Figure 3 = single-core @50 us, Figure 4 = dual-core @50 us,
 //! Figure 5 = single-core @40 us, Figure 6 = dual-core @40 us.
 
-use esteem_core::{Simulator, Technique};
+use esteem_core::Technique;
 use esteem_energy::metrics;
 use esteem_par::{parallel_map_with, ParConfig};
 use esteem_workloads::{all_benchmarks, dual_core_mixes, BenchmarkProfile};
 use serde::{Deserialize, Serialize};
 
+use crate::runcache::run_cached;
 use crate::tablefmt::{f, Table};
 use crate::{default_algo, dual_core_cfg, single_core_cfg, Scale};
 
@@ -72,9 +73,9 @@ fn run_workload(
     let mut algo = default_algo(cores);
     algo.interval_cycles = scale.interval_cycles();
 
-    let base = Simulator::new(make(Technique::Baseline), profiles, label).run();
-    let est = Simulator::new(make(Technique::Esteem(algo)), profiles, label).run();
-    let rpv = Simulator::new(make(Technique::Rpv), profiles, label).run();
+    let base = run_cached(make(Technique::Baseline), profiles, label);
+    let est = run_cached(make(Technique::Esteem(algo)), profiles, label);
+    let rpv = run_cached(make(Technique::Rpv), profiles, label);
 
     let saving = |tech: &esteem_core::SimReport| {
         esteem_energy::model::energy_saving_percent(base.energy.total(), tech.energy.total())

@@ -8,12 +8,13 @@
 //! (geometric-mean weighted speedup), RPKI decrease, MPKI increase, and
 //! active ratio — the paper's exact columns.
 
-use esteem_core::{Simulator, SystemConfig, Technique};
+use esteem_core::{SystemConfig, Technique};
 use esteem_energy::metrics;
 use esteem_par::{parallel_map_with, ParConfig};
 use esteem_workloads::{all_benchmarks, dual_core_mixes, BenchmarkProfile};
 use serde::{Deserialize, Serialize};
 
+use crate::runcache::run_cached;
 use crate::tablefmt::{f, Table};
 use crate::{default_algo, dual_core_cfg, single_core_cfg, Scale};
 
@@ -168,10 +169,14 @@ fn run_cell(
         apply_variant(&mut cfg, v, scale);
         cfg
     };
-    let base = Simulator::new(make(Technique::Baseline), profiles, label).run();
+    // Memoized: most variants only perturb ESTEEM's parameters, so their
+    // baseline configs are identical — the run cache collapses those
+    // (and the "Default" row's runs, shared with the figures) to one
+    // simulation each.
+    let base = run_cached(make(Technique::Baseline), profiles, label);
     let mut algo = default_algo(cores);
     algo.interval_cycles = scale.interval_cycles();
-    let est = Simulator::new(make(Technique::Esteem(algo)), profiles, label).run();
+    let est = run_cached(make(Technique::Esteem(algo)), profiles, label);
     Cell {
         saving: esteem_energy::model::energy_saving_percent(
             base.energy.total(),
@@ -293,7 +298,15 @@ mod tests {
     #[test]
     fn smoke_subset_run() {
         // One variant-compatible subset over two tiny workloads.
+        let (hits_before, _) = crate::runcache::stats();
         let r = run(1, Scale::Bench, 2, Some(&["gamess", "hmmer"]));
+        // 13 of the 17 variants share the default-geometry baseline per
+        // workload, so the run cache must have served repeats.
+        let (hits_after, _) = crate::runcache::stats();
+        assert!(
+            hits_after > hits_before,
+            "table3 must dedup identical baseline runs"
+        );
         assert_eq!(r.rows.len(), 17);
         let def = &r.rows[0];
         assert!(def.energy_saving_pct > 0.0, "{def:?}");

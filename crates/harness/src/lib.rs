@@ -16,6 +16,7 @@
 pub mod csv;
 pub mod experiments;
 pub mod results;
+pub mod runcache;
 pub mod scale;
 pub mod tablefmt;
 

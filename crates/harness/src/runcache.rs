@@ -1,0 +1,216 @@
+//! Content-addressed memoization of simulation runs.
+//!
+//! The experiment sweeps re-run identical simulations many times over: a
+//! figure at 50 us and Table 3's "Default" variant share every baseline
+//! run, and 13 of Table 3's 17 variants only perturb ESTEEM's algorithm
+//! parameters, so their *baseline* runs are all the same simulation. A
+//! run is fully determined by its [`SystemConfig`], its benchmark
+//! profiles, and its workload label (the simulator is deterministic:
+//! same config + same profiles + same seed => bit-identical
+//! [`SimReport`]). This module keys finished reports by a stable
+//! fingerprint of exactly those inputs and returns the memoized report
+//! instead of re-simulating.
+//!
+//! The cache is process-wide and thread-safe. Simulations run *outside*
+//! the lock: two threads racing on the same fingerprint may both
+//! simulate, but both produce the identical report, so the second insert
+//! is a harmless overwrite — never a wrong answer.
+//!
+//! Optional on-disk persistence: set `ESTEEM_RUN_CACHE_DIR` to a
+//! directory (e.g. `results/cache/`) and every computed report is also
+//! written there as `run-<fingerprint>.json`; later processes with the
+//! same setting reload instead of re-simulating. Delete the directory
+//! (or unset the variable) to drop the persisted entries. The
+//! fingerprint embeds [`FINGERPRINT_VERSION`]; bump it whenever the
+//! simulator's observable behavior changes so stale on-disk entries
+//! can never be revived.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use esteem_core::{SimReport, Simulator, SystemConfig, Technique};
+use esteem_workloads::BenchmarkProfile;
+
+/// Bump when simulator behavior changes (invalidates persisted entries).
+pub const FINGERPRINT_VERSION: u32 = 1;
+
+static CACHE: OnceLock<Mutex<HashMap<u64, SimReport>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<HashMap<u64, SimReport>> {
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// FNV-1a (64-bit): small, stable across platforms and runs — unlike
+/// `DefaultHasher`, whose output the standard library does not fix.
+fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Stable fingerprint of one simulation's inputs.
+///
+/// Hashes the `Debug` rendering of the config and profiles plus the
+/// label. `SystemConfig` and `BenchmarkProfile` are plain data (every
+/// field shows up in `Debug`, including `sim_instructions` and `seed`),
+/// so two runs fingerprint equal iff they would simulate identically.
+pub fn fingerprint(cfg: &SystemConfig, profiles: &[BenchmarkProfile], label: &str) -> u64 {
+    let mut h = fnv1a(
+        format!("v{FINGERPRINT_VERSION}|{label}|{cfg:?}").as_bytes(),
+        FNV_OFFSET,
+    );
+    for p in profiles {
+        h = fnv1a(format!("|{p:?}").as_bytes(), h);
+    }
+    h
+}
+
+fn disk_dir() -> Option<PathBuf> {
+    static DIR: OnceLock<Option<PathBuf>> = OnceLock::new();
+    DIR.get_or_init(|| std::env::var_os("ESTEEM_RUN_CACHE_DIR").map(PathBuf::from))
+        .clone()
+}
+
+fn disk_path(dir: &std::path::Path, fp: u64) -> PathBuf {
+    dir.join(format!("run-{fp:016x}.json"))
+}
+
+fn load_from_disk(fp: u64) -> Option<SimReport> {
+    let dir = disk_dir()?;
+    let body = std::fs::read_to_string(disk_path(&dir, fp)).ok()?;
+    serde_json::from_str(&body).ok()
+}
+
+fn store_to_disk(fp: u64, report: &SimReport) {
+    let Some(dir) = disk_dir() else { return };
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    if let Ok(json) = serde_json::to_string(report) {
+        // Write-then-rename so a concurrent reader never sees a torn file.
+        let tmp = dir.join(format!("run-{fp:016x}.json.tmp{}", std::process::id()));
+        if std::fs::write(&tmp, json).is_ok() {
+            let _ = std::fs::rename(&tmp, disk_path(&dir, fp));
+        }
+    }
+}
+
+/// Runs the simulation described by `(cfg, profiles, label)`, memoized.
+///
+/// On a fingerprint hit the stored report is returned without
+/// simulating; on a miss the simulation runs (outside the cache lock)
+/// and the report is stored for subsequent callers.
+pub fn run_cached(cfg: SystemConfig, profiles: &[BenchmarkProfile], label: &str) -> SimReport {
+    let fp = fingerprint(&cfg, profiles, label);
+    if let Some(hit) = cache().lock().unwrap().get(&fp) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return hit.clone();
+    }
+    if let Some(hit) = load_from_disk(fp) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        cache().lock().unwrap().insert(fp, hit.clone());
+        return hit;
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let report = Simulator::new(cfg, profiles, label).run();
+    store_to_disk(fp, &report);
+    cache().lock().unwrap().insert(fp, report.clone());
+    report
+}
+
+/// Memoized baseline-vs-technique comparison (the shape every
+/// experiment and ablation uses): both runs go through [`run_cached`],
+/// so e.g. Table 3's per-variant baselines collapse to one simulation.
+pub fn run_comparison_cached(
+    make_cfg: impl Fn(Technique) -> SystemConfig,
+    technique: Technique,
+    profiles: &[BenchmarkProfile],
+    label: &str,
+) -> esteem_core::Comparison {
+    let base = run_cached(make_cfg(Technique::Baseline), profiles, label);
+    let tech = run_cached(make_cfg(technique), profiles, label);
+    esteem_core::Comparison::from_reports(base, tech)
+}
+
+/// `(hits, misses)` since process start.
+pub fn stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Drops every in-memory entry (on-disk entries persist) and resets the
+/// hit/miss counters. Tests use this for isolation.
+pub fn clear() {
+    cache().lock().unwrap().clear();
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{single_core_cfg, Scale};
+    use esteem_workloads::benchmark_by_name;
+
+    fn profile() -> BenchmarkProfile {
+        benchmark_by_name("gamess").unwrap()
+    }
+
+    #[test]
+    fn cached_report_is_identical_to_fresh() {
+        let p = profile();
+        let cfg = single_core_cfg(Technique::Baseline, Scale::Bench, 50.0);
+        let fresh = Simulator::new(cfg.clone(), std::slice::from_ref(&p), "gamess").run();
+        let first = run_cached(cfg.clone(), std::slice::from_ref(&p), "gamess");
+        let second = run_cached(cfg, std::slice::from_ref(&p), "gamess");
+        assert_eq!(serde_json::to_string(&fresh).unwrap(), serde_json::to_string(&first).unwrap());
+        assert_eq!(serde_json::to_string(&first).unwrap(), serde_json::to_string(&second).unwrap());
+        let (hits, _) = stats();
+        assert!(hits >= 1, "second lookup must hit");
+    }
+
+    #[test]
+    fn distinct_inputs_get_distinct_fingerprints() {
+        let p = profile();
+        let ps = std::slice::from_ref(&p);
+        let cfg = single_core_cfg(Technique::Baseline, Scale::Bench, 50.0);
+        let base = fingerprint(&cfg, ps, "gamess");
+        // Different label.
+        assert_ne!(base, fingerprint(&cfg, ps, "gamess2"));
+        // Different retention period.
+        let cfg40 = single_core_cfg(Technique::Baseline, Scale::Bench, 40.0);
+        assert_ne!(base, fingerprint(&cfg40, ps, "gamess"));
+        // Different seed.
+        let mut seeded = cfg.clone();
+        seeded.seed ^= 1;
+        assert_ne!(base, fingerprint(&seeded, ps, "gamess"));
+        // Different instruction budget.
+        let mut longer = cfg.clone();
+        longer.sim_instructions += 1;
+        assert_ne!(base, fingerprint(&longer, ps, "gamess"));
+        // Different technique.
+        let rpv = single_core_cfg(Technique::Rpv, Scale::Bench, 50.0);
+        assert_ne!(base, fingerprint(&rpv, ps, "gamess"));
+        // Different profile.
+        let q = benchmark_by_name("milc").unwrap();
+        assert_ne!(base, fingerprint(&cfg, std::slice::from_ref(&q), "gamess"));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_calls() {
+        let p = profile();
+        let ps = std::slice::from_ref(&p);
+        let cfg = single_core_cfg(Technique::Baseline, Scale::Bench, 50.0);
+        assert_eq!(
+            fingerprint(&cfg, ps, "gamess"),
+            fingerprint(&cfg.clone(), ps, "gamess")
+        );
+    }
+}

@@ -6,7 +6,7 @@
 //! lives *above* the simulator, in this crate.
 //!
 //! The design intentionally avoids a global thread pool: every call to
-//! [`parallel_map`] spins up scoped workers (via [`crossbeam::thread`]) that
+//! [`parallel_map`] spins up scoped workers (via [`std::thread::scope`]) that
 //! pull indices from a shared atomic cursor (dynamic self-scheduling, which
 //! balances the very uneven run times of different benchmark simulations)
 //! and write results into pre-allocated slots, preserving input order.
@@ -47,6 +47,35 @@ pub fn default_threads() -> usize {
 mod tests {
     use super::*;
 
+    use std::sync::Mutex;
+
+    /// `ESTEEM_THREADS` is process-global state: every test that touches
+    /// it must hold this lock, or a concurrently running test could read
+    /// a half-configured value.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Sets (or clears) `ESTEEM_THREADS` for the duration of a closure,
+    /// restoring whatever was there before — even if the closure panics.
+    fn with_threads_env<R>(value: Option<&str>, body: impl FnOnce() -> R) -> R {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prior = std::env::var("ESTEEM_THREADS").ok();
+        struct Restore(Option<String>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                match &self.0 {
+                    Some(v) => std::env::set_var("ESTEEM_THREADS", v),
+                    None => std::env::remove_var("ESTEEM_THREADS"),
+                }
+            }
+        }
+        let _restore = Restore(prior);
+        match value {
+            Some(v) => std::env::set_var("ESTEEM_THREADS", v),
+            None => std::env::remove_var("ESTEEM_THREADS"),
+        }
+        body()
+    }
+
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
@@ -54,10 +83,12 @@ mod tests {
 
     #[test]
     fn env_override_respected() {
-        // Note: mutating the environment is process-global; keep the value
-        // sane and restore afterwards so other tests are unaffected.
-        std::env::set_var("ESTEEM_THREADS", "3");
-        assert_eq!(default_threads(), 3);
-        std::env::remove_var("ESTEEM_THREADS");
+        with_threads_env(Some("3"), || {
+            assert_eq!(default_threads(), 3);
+        });
+        with_threads_env(Some("0"), || {
+            // Invalid values fall back to machine parallelism.
+            assert!(default_threads() >= 1);
+        });
     }
 }

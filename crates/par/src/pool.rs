@@ -80,13 +80,15 @@ where
         unsafe impl<R: Send> Sync for SlotsPtr<R> {}
         let slots_ptr = SlotsPtr(slots.as_mut_ptr());
 
-        crossbeam::thread::scope(|scope| {
+        // std::thread::scope joins every worker before returning and
+        // re-raises any worker panic in the caller.
+        std::thread::scope(|scope| {
             for _ in 0..threads {
                 let cursor = &cursor;
                 let f = &f;
                 let slots_ptr = &slots_ptr;
                 let progress = &progress;
-                scope.spawn(move |_| loop {
+                scope.spawn(move || loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -101,8 +103,7 @@ where
                     progress.tick();
                 });
             }
-        })
-        .expect("a parallel_map worker panicked");
+        });
     }
 
     slots

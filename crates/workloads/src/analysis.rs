@@ -285,7 +285,7 @@ mod tests {
         let near = band(0, 64);
         let mid = band(512, 1024);
         let far = band(2048, 4096);
-        assert!(near > 10 * mid, "near {near} vs mid {mid}");
+        assert!(near > 8 * mid, "near {near} vs mid {mid}");
         assert!(mid > far, "mid {mid} vs far {far}");
     }
 }

@@ -55,6 +55,9 @@ pub struct AccessStream {
     core_base: u64,
     /// Precomputed zone mixture per phase.
     mixtures: Vec<ZoneMixture>,
+    /// Precomputed `1.0 / mem_ratio` per phase (hoists an f64 division out
+    /// of the per-bundle path; bit-identical to dividing inline).
+    inv_mem_ratio: Vec<f64>,
     phase_idx: usize,
     instrs_in_phase: u64,
     /// Fractional-instruction accumulator realising `mem_ratio` exactly.
@@ -79,11 +82,13 @@ impl AccessStream {
             .iter()
             .map(|ph| ZoneMixture::build(ph, profile.name))
             .collect();
+        let inv_mem_ratio = profile.phases.iter().map(|ph| 1.0 / ph.mem_ratio).collect();
         Self {
             profile: profile.clone(),
             rng: SmallRng::seed_from_u64(rng_seed),
             core_base: u64::from(core_id) << CORE_SHIFT,
             mixtures,
+            inv_mem_ratio,
             phase_idx: 0,
             instrs_in_phase: 0,
             gap_credit: 0.0,
@@ -129,7 +134,7 @@ impl AccessStream {
         let phase = &self.profile.phases[self.phase_idx];
 
         // Instructions carried by this bundle (>= 1, exact rate on average).
-        self.gap_credit += 1.0 / phase.mem_ratio;
+        self.gap_credit += self.inv_mem_ratio[self.phase_idx];
         let instrs = (self.gap_credit.floor() as u32).max(1);
         self.gap_credit -= f64::from(instrs);
 
@@ -140,7 +145,14 @@ impl AccessStream {
             self.stream_dwell += 1;
             if self.stream_dwell >= STREAM_DWELL {
                 self.stream_dwell = 0;
-                self.stream_ptr = (self.stream_ptr + 1) % phase.stream_blocks.max(1);
+                // Wrapping is rare (once per stream lap), so gate the
+                // modulo behind a compare. The remainder (not plain zero)
+                // matters when a phase switch shrinks the region.
+                self.stream_ptr += 1;
+                let region = phase.stream_blocks.max(1);
+                if self.stream_ptr >= region {
+                    self.stream_ptr %= region;
+                }
             }
             b
         } else if r < phase.stream_frac + phase.scan_frac {

@@ -24,8 +24,9 @@
 //! record, which keeps streaming/scanning traces highly compressible and
 //! the common case within 4 bytes. Deltas beyond ±2^30 are escaped with a
 //! full 8-byte absolute record (flag bit 7).
-
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+//!
+//! The codec works on plain `Vec<u8>` / `&[u8]` — no external buffer
+//! crate required.
 
 use crate::stream::{Bundle, MemRef};
 
@@ -66,10 +67,49 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
+/// Little-endian cursor over a byte slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], TraceError> {
+        let end = self.pos.checked_add(N).ok_or(TraceError::Truncated)?;
+        let bytes = self.data.get(self.pos..end).ok_or(TraceError::Truncated)?;
+        self.pos = end;
+        Ok(bytes.try_into().expect("slice length checked"))
+    }
+
+    fn get_u8(&mut self) -> Result<u8, TraceError> {
+        self.take::<1>().map(|b| b[0])
+    }
+
+    fn get_u16_le(&mut self) -> Result<u16, TraceError> {
+        self.take::<2>().map(u16::from_le_bytes)
+    }
+
+    fn get_u32_le(&mut self) -> Result<u32, TraceError> {
+        self.take::<4>().map(u32::from_le_bytes)
+    }
+
+    fn get_u64_le(&mut self) -> Result<u64, TraceError> {
+        self.take::<8>().map(u64::from_le_bytes)
+    }
+}
+
 /// Streaming trace encoder.
 #[derive(Debug, Default)]
 pub struct TraceWriter {
-    buf: BytesMut,
+    buf: Vec<u8>,
     count: u64,
     prev_block: u64,
 }
@@ -77,7 +117,7 @@ pub struct TraceWriter {
 impl TraceWriter {
     pub fn new() -> Self {
         Self {
-            buf: BytesMut::with_capacity(4096),
+            buf: Vec::with_capacity(4096),
             count: 0,
             prev_block: 0,
         }
@@ -89,28 +129,28 @@ impl TraceWriter {
         let delta = bundle.mem.block as i64 - self.prev_block as i64;
         let zz = zigzag(delta);
         let mut flags = if bundle.mem.write { FLAG_WRITE } else { 0 };
-        self.buf.put_u32_le(bundle.instrs);
+        self.buf.extend_from_slice(&bundle.instrs.to_le_bytes());
         if zz < (1u64 << 30) {
-            self.buf.put_u8(flags);
-            self.buf.put_u32_le(zz as u32);
+            self.buf.push(flags);
+            self.buf.extend_from_slice(&(zz as u32).to_le_bytes());
         } else {
             flags |= FLAG_ABSOLUTE;
-            self.buf.put_u8(flags);
-            self.buf.put_u64_le(bundle.mem.block);
+            self.buf.push(flags);
+            self.buf.extend_from_slice(&bundle.mem.block.to_le_bytes());
         }
         self.prev_block = bundle.mem.block;
         self.count += 1;
     }
 
     /// Finalises into the complete trace image (header + records).
-    pub fn finish(self) -> Bytes {
-        let mut out = BytesMut::with_capacity(self.buf.len() + 16);
-        out.put_slice(MAGIC);
-        out.put_u16_le(VERSION);
-        out.put_u16_le(0);
-        out.put_u64_le(self.count);
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.buf.len() + 16);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&self.count.to_le_bytes());
         out.extend_from_slice(&self.buf);
-        out.freeze()
+        out
     }
 
     pub fn len(&self) -> u64 {
@@ -131,42 +171,33 @@ pub struct TraceReader {
 
 impl TraceReader {
     /// Decodes a complete trace image.
-    pub fn parse(mut data: Bytes) -> Result<Self, TraceError> {
-        if data.remaining() < 16 {
+    pub fn parse(data: &[u8]) -> Result<Self, TraceError> {
+        let mut cur = Cursor::new(data);
+        if cur.remaining() < 16 {
             return Err(TraceError::Truncated);
         }
-        let mut magic = [0u8; 4];
-        data.copy_to_slice(&mut magic);
+        let magic = cur.take::<4>()?;
         if &magic != MAGIC {
             return Err(TraceError::BadMagic);
         }
-        let version = data.get_u16_le();
+        let version = cur.get_u16_le()?;
         if version != VERSION {
             return Err(TraceError::BadVersion(version));
         }
-        let _reserved = data.get_u16_le();
-        let count = data.get_u64_le();
+        let _reserved = cur.get_u16_le()?;
+        let count = cur.get_u64_le()?;
         let mut bundles = Vec::with_capacity(count.min(1 << 24) as usize);
         let mut prev_block = 0u64;
         for _ in 0..count {
-            if data.remaining() < 5 {
-                return Err(TraceError::Truncated);
-            }
-            let instrs = data.get_u32_le();
+            let instrs = cur.get_u32_le()?;
             if instrs == 0 {
                 return Err(TraceError::ZeroInstrs);
             }
-            let flags = data.get_u8();
+            let flags = cur.get_u8()?;
             let block = if flags & FLAG_ABSOLUTE != 0 {
-                if data.remaining() < 8 {
-                    return Err(TraceError::Truncated);
-                }
-                data.get_u64_le()
+                cur.get_u64_le()?
             } else {
-                if data.remaining() < 4 {
-                    return Err(TraceError::Truncated);
-                }
-                let zz = u64::from(data.get_u32_le());
+                let zz = u64::from(cur.get_u32_le()?);
                 (prev_block as i64 + unzigzag(zz)) as u64
             };
             prev_block = block;
@@ -206,7 +237,7 @@ impl TraceReader {
 
 /// Captures `n` bundles of a synthetic stream into a trace image
 /// (convenience for tests and the `esteem-sim --record` flow).
-pub fn record_stream(stream: &mut crate::AccessStream, n: u64) -> Bytes {
+pub fn record_stream(stream: &mut crate::AccessStream, n: u64) -> Vec<u8> {
     let mut w = TraceWriter::new();
     for _ in 0..n {
         w.push(&stream.next_bundle());
@@ -232,7 +263,7 @@ mod tests {
         let p = benchmark_by_name("gcc").unwrap();
         let mut s1 = AccessStream::new(&p, 0, 9);
         let img = record_stream(&mut s1, 10_000);
-        let mut reader = TraceReader::parse(img).unwrap();
+        let mut reader = TraceReader::parse(&img).unwrap();
         assert_eq!(reader.len(), 10_000);
         let mut s2 = AccessStream::new(&p, 0, 9);
         for _ in 0..10_000 {
@@ -245,7 +276,7 @@ mod tests {
         let p = benchmark_by_name("povray").unwrap();
         let mut s = AccessStream::new(&p, 0, 1);
         let img = record_stream(&mut s, 8);
-        let mut r = TraceReader::parse(img).unwrap();
+        let mut r = TraceReader::parse(&img).unwrap();
         let first: Vec<Bundle> = (0..8).map(|_| r.next_bundle()).collect();
         let second: Vec<Bundle> = (0..8).map(|_| r.next_bundle()).collect();
         assert_eq!(first, second);
@@ -272,7 +303,8 @@ mod tests {
         };
         w.push(&far);
         w.push(&near);
-        let mut r = TraceReader::parse(w.finish()).unwrap();
+        let img = w.finish();
+        let mut r = TraceReader::parse(&img).unwrap();
         assert_eq!(r.next_bundle(), far);
         assert_eq!(r.next_bundle(), near);
     }
@@ -280,25 +312,21 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert_eq!(
-            TraceReader::parse(Bytes::from_static(b"not a trace....."))
-                .err()
-                .unwrap(),
+            TraceReader::parse(b"not a trace.....").err().unwrap(),
             TraceError::BadMagic
         );
         assert_eq!(
-            TraceReader::parse(Bytes::from_static(b"ESTR"))
-                .err()
-                .unwrap(),
+            TraceReader::parse(b"ESTR").err().unwrap(),
             TraceError::Truncated
         );
         // Bad version.
-        let mut img = BytesMut::new();
-        img.put_slice(MAGIC);
-        img.put_u16_le(99);
-        img.put_u16_le(0);
-        img.put_u64_le(0);
+        let mut img = Vec::new();
+        img.extend_from_slice(MAGIC);
+        img.extend_from_slice(&99u16.to_le_bytes());
+        img.extend_from_slice(&0u16.to_le_bytes());
+        img.extend_from_slice(&0u64.to_le_bytes());
         assert_eq!(
-            TraceReader::parse(img.freeze()).err().unwrap(),
+            TraceReader::parse(&img).err().unwrap(),
             TraceError::BadVersion(99)
         );
     }
@@ -308,7 +336,7 @@ mod tests {
         let p = benchmark_by_name("gcc").unwrap();
         let mut s = AccessStream::new(&p, 0, 9);
         let img = record_stream(&mut s, 100);
-        let cut = img.slice(0..img.len() - 3);
+        let cut = &img[..img.len() - 3];
         assert_eq!(
             TraceReader::parse(cut).err().unwrap(),
             TraceError::Truncated

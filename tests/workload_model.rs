@@ -84,7 +84,7 @@ fn trace_round_trip_preserves_locality() {
     let p = benchmark_by_name("gcc").unwrap();
     let mut s = AccessStream::new(&p, 0, 5);
     let img = record_stream(&mut s, 30_000);
-    let mut replay = TraceReader::parse(img).unwrap();
+    let mut replay = TraceReader::parse(&img).unwrap();
 
     let mut direct = AccessStream::new(&p, 0, 5);
     let mut rd_direct = ReuseDistance::new(1 << 12);

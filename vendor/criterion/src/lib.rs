@@ -1,0 +1,262 @@
+//! Vendored minimal stand-in for `criterion`, built for offline
+//! compilation. Keeps the workspace's bench targets compiling and
+//! producing useful numbers: each benchmark is timed with
+//! `std::time::Instant` over `sample_size` samples and reports
+//! mean ns/iter (plus derived throughput when configured). There is
+//! no statistical analysis, HTML report, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let cfg = self.clone();
+        run_benchmark(&id, &cfg, None, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        run_benchmark(&full, &cfg, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    /// Total wall time accumulated by `iter*` calls in this sample.
+    elapsed: Duration,
+    /// Iterations executed in this sample.
+    iterations: u64,
+    /// Iterations to run per `iter*` call (set by the harness).
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let started = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        self.elapsed += started.elapsed();
+        self.iterations += self.iters_per_sample;
+    }
+
+    pub fn iter_with_setup<S, O, FS, F>(&mut self, mut setup: FS, mut f: F)
+    where
+        FS: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        for _ in 0..self.iters_per_sample {
+            let input = setup();
+            let started = Instant::now();
+            black_box(f(input));
+            self.elapsed += started.elapsed();
+            self.iterations += 1;
+        }
+    }
+}
+
+fn run_benchmark<F>(id: &str, cfg: &Criterion, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: run single iterations until the warm-up budget is spent,
+    // measuring the per-iteration cost to size the real samples.
+    let warmup_started = Instant::now();
+    let mut warmup_iters = 0u64;
+    let mut warmup_elapsed = Duration::ZERO;
+    while warmup_started.elapsed() < cfg.warm_up_time {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        warmup_elapsed += b.elapsed;
+        warmup_iters += b.iterations.max(1);
+    }
+    let per_iter = warmup_elapsed
+        .checked_div(warmup_iters.max(1) as u32)
+        .unwrap_or(Duration::ZERO)
+        .max(Duration::from_nanos(1));
+
+    // Size samples so all of them together roughly fill measurement_time.
+    let budget_per_sample = cfg.measurement_time.as_nanos() / cfg.sample_size.max(1) as u128;
+    let iters_per_sample = (budget_per_sample / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut iterations = 0u64;
+    for _ in 0..cfg.sample_size {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+            iters_per_sample,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        iterations += b.iterations;
+    }
+
+    let ns_per_iter = total.as_nanos() as f64 / iterations.max(1) as f64;
+    let mut line = format!("{id}: {ns_per_iter:.1} ns/iter ({iterations} iters)");
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_s = n as f64 * 1e9 / ns_per_iter.max(f64::MIN_POSITIVE);
+            line.push_str(&format!(", {per_s:.0} elem/s"));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_s = n as f64 * 1e9 / ns_per_iter.max(f64::MIN_POSITIVE);
+            line.push_str(&format!(", {:.1} MiB/s", per_s / (1024.0 * 1024.0)));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_with_throughput_and_setup() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(3);
+        group.bench_function("setup", |b| {
+            b.iter_with_setup(|| vec![1u8, 2, 3], |v| v.len())
+        });
+        group.finish();
+    }
+}
