@@ -184,6 +184,11 @@ impl SetAssocCache {
         self.module_ways[module as usize]
     }
 
+    /// Active way counts of every module, in module order.
+    pub fn module_ways(&self) -> &[u8] {
+        &self.module_ways
+    }
+
     /// Performs one demand access: on a hit, updates recency/dirty state;
     /// on a miss, allocates (evicting the LRU enabled way) and reports any
     /// dirty eviction as a write-back.
@@ -447,7 +452,25 @@ impl SetAssocCache {
     /// Recomputed (non-incremental) valid-line count, for invariant checks.
     #[doc(hidden)]
     pub fn recount_valid(&self) -> u64 {
-        self.bits.iter().map(|b| u64::from(b.valid.count_ones())).sum()
+        self.bits
+            .iter()
+            .map(|b| u64::from(b.valid.count_ones()))
+            .sum()
+    }
+}
+
+impl esteem_stats::StatsSource for SetAssocCache {
+    /// Registers the cache's lifetime counters and occupancy gauges
+    /// (`hits`, `misses`, `writebacks`, `writes`, `valid_lines`,
+    /// `active_slots`, `active_fraction`) into the stats tree.
+    fn collect(&self, out: &mut esteem_stats::Scope<'_>) {
+        out.counter("hits", self.stats.hits);
+        out.counter("misses", self.stats.misses);
+        out.counter("writebacks", self.stats.writebacks);
+        out.counter("writes", self.stats.writes);
+        out.gauge("valid_lines", self.valid_lines as f64);
+        out.gauge("active_slots", self.active_slots as f64);
+        out.gauge("active_fraction", self.active_fraction());
     }
 }
 

@@ -203,7 +203,12 @@ impl OrderStore {
                 }
                 None
             }
-            Repr::Wide(bytes) => self.wide_slice(bytes, set).iter().rev().copied().find(|&w| pred(w)),
+            Repr::Wide(bytes) => self
+                .wide_slice(bytes, set)
+                .iter()
+                .rev()
+                .copied()
+                .find(|&w| pred(w)),
         }
     }
 

@@ -95,6 +95,13 @@ pub enum Technique {
     /// family the paper cites as [39, 45]): refresh every `periods`
     /// retention periods with `ecc_bits` of per-line correction.
     EccRefresh { periods: u8, ecc_bits: u8 },
+    /// Statically shrunken cache (ablation): every module is pinned to a
+    /// fixed way count at the start of the run and never reconfigured
+    /// again — the paper's "selective ways"-style comparison point that
+    /// isolates ESTEEM's *dynamic* adaptation from the raw benefit of
+    /// running a smaller cache. Refreshes valid lines in the active
+    /// portion only, like ESTEEM.
+    StaticWays { ways: u8 },
 }
 
 impl Technique {
@@ -106,6 +113,7 @@ impl Technique {
             Technique::PeriodicValid => "periodic-valid",
             Technique::Esteem(_) => "ESTEEM",
             Technique::EccRefresh { .. } => "ECC-refresh",
+            Technique::StaticWays { .. } => "static-ways",
         }
     }
 
@@ -123,6 +131,8 @@ impl Technique {
                 periods: *periods,
                 ecc_bits: *ecc_bits,
             },
+            // Only the active portion holds data; refresh its valid lines.
+            Technique::StaticWays { .. } => RefreshPolicy::PeriodicValid,
         }
     }
 
@@ -234,6 +244,12 @@ impl SystemConfig {
             p.validate(self.l2_ways);
             let g = self.l2_geometry();
             assert!(u32::from(p.modules) <= g.sets, "more modules than sets");
+        }
+        if let Technique::StaticWays { ways } = self.technique {
+            assert!(
+                (1..=self.l2_ways).contains(&ways),
+                "static way count must be in 1..=A (got {ways})"
+            );
         }
     }
 }

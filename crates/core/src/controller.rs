@@ -1,0 +1,268 @@
+//! The pluggable cache-controller layer.
+//!
+//! The paper evaluates one reconfiguration policy (ESTEEM's Algorithm 1)
+//! against passive comparators, but the broader DCR literature (Mittal's
+//! dynamic-cache-reconfiguration dissertation line, HALLS, Refrint) all
+//! share the same skeleton: a policy engine that wakes at interval
+//! boundaries, inspects profiling state, and reshapes the cache. This
+//! module makes that skeleton a first-class trait so the system
+//! simulator's quantum loop is policy-agnostic: adding a policy is one
+//! new [`CacheController`] implementation, not a `system.rs` surgery.
+//!
+//! Three implementations ship today:
+//!
+//! * [`EsteemController`] — the paper's interval engine (Algorithm 1);
+//! * [`NullController`] — the passive policies (baseline, Refrint
+//!   RPV/RPD, periodic-valid, ECC-refresh): never wakes, never acts;
+//! * [`StaticWaysController`] — pins every module to a fixed way count
+//!   at the first quantum boundary and then stays silent; the
+//!   "selective ways" ablation that separates *having* a smaller cache
+//!   from ESTEEM's dynamic adaptation.
+
+use esteem_cache::SetAssocCache;
+
+use crate::config::Technique;
+use crate::esteem::EsteemController;
+use crate::report::IntervalRecord;
+
+/// Everything a controller may touch when its interval fires. Borrowed
+/// views into the simulator, so a controller can never reach state the
+/// quantum loop does not explicitly lend it.
+pub struct IntervalCtx<'a> {
+    /// The shared L2 (profiling counters included — `l2.atd`).
+    pub l2: &'a mut SetAssocCache,
+    /// Current cycle (the quantum boundary that triggered the interval).
+    pub now: u64,
+}
+
+/// Work a controller performed during one interval, which the simulator
+/// must charge to traffic and energy (`N_L`, write-backs to memory).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControllerAction {
+    /// Line slots that changed power state (the paper's `N_L`).
+    pub slot_transitions: u64,
+    /// Dirty lines flushed to memory by way turn-off.
+    pub writebacks: u64,
+    /// Clean lines discarded by way turn-off.
+    pub discards: u64,
+}
+
+/// A reconfiguration policy plugged into the simulator's quantum loop.
+///
+/// The loop asks [`due`](Self::due) at every quantum boundary and calls
+/// [`on_interval`](Self::on_interval) when it answers yes; everything
+/// else about the policy (profiling source, damping, decision rule) is
+/// private to the implementation.
+pub trait CacheController: Send {
+    /// Short label for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// The policy's natural cadence in cycles, if it is periodic. The
+    /// interval observer uses this as its sampling period; aperiodic
+    /// (or passive) controllers return `None` and observation falls
+    /// back to the retention period.
+    fn interval_cycles(&self) -> Option<u64> {
+        None
+    }
+
+    /// Whether an interval boundary is due at `now`.
+    fn due(&self, now: u64) -> bool;
+
+    /// Runs one interval: inspect profiling state, reshape the cache,
+    /// report the work done. Only called when [`due`](Self::due).
+    fn on_interval(&mut self, ctx: IntervalCtx<'_>) -> ControllerAction;
+
+    /// Per-interval decision log (drives Figure 2; empty for passive
+    /// controllers).
+    fn log(&self) -> &[IntervalRecord];
+}
+
+/// Builds the controller a technique calls for. The match lives here —
+/// in one cold constructor — instead of being smeared over the quantum
+/// loop as it was before the controller layer existed.
+pub fn for_technique(technique: &Technique) -> Box<dyn CacheController> {
+    match technique {
+        Technique::Esteem(p) => Box::new(EsteemController::new(*p)),
+        Technique::StaticWays { ways } => Box::new(StaticWaysController::new(*ways)),
+        Technique::Baseline
+        | Technique::Rpv
+        | Technique::Rpd
+        | Technique::PeriodicValid
+        | Technique::EccRefresh { .. } => Box::new(NullController),
+    }
+}
+
+/// The do-nothing controller behind every passive technique. `due` is
+/// never true, so the quantum loop pays one predictable branch per
+/// quantum and nothing else.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullController;
+
+impl CacheController for NullController {
+    fn name(&self) -> &'static str {
+        "null"
+    }
+
+    fn due(&self, _now: u64) -> bool {
+        false
+    }
+
+    fn on_interval(&mut self, _ctx: IntervalCtx<'_>) -> ControllerAction {
+        ControllerAction::default()
+    }
+
+    fn log(&self) -> &[IntervalRecord] {
+        &[]
+    }
+}
+
+/// Fixed way-count ablation: one reconfiguration at the first quantum
+/// boundary (shrinking every module to `ways`, flushing the turned-off
+/// ways exactly as a dynamic shrink would), then silence.
+#[derive(Debug, Clone)]
+pub struct StaticWaysController {
+    ways: u8,
+    applied: bool,
+    log: Vec<IntervalRecord>,
+}
+
+impl StaticWaysController {
+    pub fn new(ways: u8) -> Self {
+        assert!(ways >= 1, "at least one way must stay active");
+        Self {
+            ways,
+            applied: false,
+            log: Vec::new(),
+        }
+    }
+}
+
+impl CacheController for StaticWaysController {
+    fn name(&self) -> &'static str {
+        "static-ways"
+    }
+
+    fn due(&self, _now: u64) -> bool {
+        !self.applied
+    }
+
+    fn on_interval(&mut self, ctx: IntervalCtx<'_>) -> ControllerAction {
+        let want = self.ways.min(ctx.l2.geometry().ways);
+        let modules = ctx.l2.geometry().modules;
+        let mut act = ControllerAction::default();
+        for m in 0..modules {
+            let out = ctx.l2.set_module_active_ways(m, want, ctx.now);
+            act.slot_transitions += out.slot_transitions;
+            act.writebacks += out.writebacks;
+            act.discards += out.discards;
+        }
+        self.applied = true;
+        self.log.push(IntervalRecord {
+            cycle: ctx.now,
+            ways: vec![want; modules as usize],
+            active_fraction: ctx.l2.active_fraction(),
+        });
+        act
+    }
+
+    fn log(&self) -> &[IntervalRecord] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlgoParams;
+    use esteem_cache::CacheGeometry;
+
+    fn l2() -> SetAssocCache {
+        // 4096 sets x 16 ways (4MB), 8 modules, no leader sampling.
+        let g = CacheGeometry::from_capacity(4 << 20, 16, 64, 4, 8);
+        SetAssocCache::new(g, None)
+    }
+
+    #[test]
+    fn technique_selects_controller() {
+        assert_eq!(for_technique(&Technique::Baseline).name(), "null");
+        assert_eq!(for_technique(&Technique::Rpv).name(), "null");
+        assert_eq!(
+            for_technique(&Technique::Esteem(AlgoParams::paper_single_core())).name(),
+            "esteem"
+        );
+        assert_eq!(
+            for_technique(&Technique::StaticWays { ways: 4 }).name(),
+            "static-ways"
+        );
+    }
+
+    #[test]
+    fn null_controller_is_never_due() {
+        let ctl = NullController;
+        assert!(!ctl.due(0));
+        assert!(!ctl.due(u64::MAX));
+        assert!(ctl.log().is_empty());
+        assert_eq!(ctl.interval_cycles(), None);
+    }
+
+    #[test]
+    fn static_ways_applies_once_and_flushes() {
+        let mut cache = l2();
+        // Dirty-fill all 16 ways of set 0.
+        for t in 0..16u64 {
+            cache.access(cache.geometry().block_of(t + 1, 0), true, 0);
+        }
+        let mut ctl = StaticWaysController::new(4);
+        assert!(ctl.due(1000));
+        let act = ctl.on_interval(IntervalCtx {
+            l2: &mut cache,
+            now: 1000,
+        });
+        // 12 ways turned off across 4096 sets (no leaders).
+        assert_eq!(act.slot_transitions, 12 * 4096);
+        assert_eq!(act.writebacks, 12, "12 dirty lines in set 0 flushed");
+        for m in 0..8 {
+            assert_eq!(cache.module_active_ways(m), 4);
+        }
+        assert_eq!(ctl.log().len(), 1);
+        assert_eq!(ctl.log()[0].ways, vec![4; 8]);
+        assert!((ctl.log()[0].active_fraction - 0.25).abs() < 1e-12);
+        // One-shot: never due again.
+        assert!(!ctl.due(u64::MAX));
+    }
+
+    #[test]
+    fn static_ways_clamps_to_geometry() {
+        let mut cache = l2();
+        let mut ctl = StaticWaysController::new(200);
+        let act = ctl.on_interval(IntervalCtx {
+            l2: &mut cache,
+            now: 0,
+        });
+        // 200 > 16 ways: clamped to the full cache, a no-op reconfig.
+        assert_eq!(act, ControllerAction::default());
+        assert_eq!(cache.module_active_ways(0), 16);
+    }
+
+    #[test]
+    fn esteem_controller_implements_trait() {
+        let p = AlgoParams {
+            shrink_confirm: false,
+            ..AlgoParams::paper_single_core()
+        };
+        let mut ctl: Box<dyn CacheController> = Box::new(EsteemController::new(p));
+        assert_eq!(ctl.name(), "esteem");
+        assert_eq!(ctl.interval_cycles(), Some(p.interval_cycles));
+        assert!(!ctl.due(p.interval_cycles - 1));
+        assert!(ctl.due(p.interval_cycles));
+        let g = CacheGeometry::from_capacity(4 << 20, 16, 64, 4, 8);
+        let mut cache = SetAssocCache::new(g, Some(64));
+        let act = ctl.on_interval(IntervalCtx {
+            l2: &mut cache,
+            now: p.interval_cycles,
+        });
+        // No hits recorded: every module shrinks to A_min.
+        assert!(act.slot_transitions > 0);
+        assert_eq!(ctl.log().len(), 1);
+    }
+}

@@ -151,6 +151,16 @@ impl CoreState {
     }
 }
 
+impl esteem_stats::StatsSource for CoreState {
+    /// Registers retirement progress and L1D traffic; the private L1
+    /// nests as a sub-scope (`cores/<i>/l1/hits`).
+    fn collect(&self, out: &mut esteem_stats::Scope<'_>) {
+        out.counter("instructions", self.instructions);
+        out.counter("cycles_fp", self.cycles_fp);
+        out.register("l1", &self.l1d);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,6 +3,7 @@
 use esteem_cache::{ReconfigOutcome, SetAssocCache};
 
 use crate::config::AlgoParams;
+use crate::controller::{CacheController, ControllerAction, IntervalCtx};
 use crate::report::IntervalRecord;
 
 /// Decision of Algorithm 1 for one module given its per-LRU-position hit
@@ -56,17 +57,6 @@ pub fn algorithm1(hits: &[u64], alpha: f64, a_min: u8, non_lru_guard: bool) -> u
     a_min.max(1)
 }
 
-/// Work done by one interval's reconfiguration.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct IntervalOutcome {
-    /// `N_L` for this interval (slots that changed power state).
-    pub slot_transitions: u64,
-    /// Dirty lines flushed to memory by way turn-off.
-    pub writebacks: u64,
-    /// Clean lines discarded by way turn-off.
-    pub discards: u64,
-}
-
 /// The interval engine: runs Algorithm 1 over every module once per
 /// interval and applies the decisions.
 /// Consecutive intervals that must agree before a module gives up ways
@@ -101,15 +91,10 @@ impl EsteemController {
         &self.params
     }
 
-    /// Whether an interval boundary is due at `now`.
-    pub fn due(&self, now: u64) -> bool {
-        now >= self.next_interval
-    }
-
     /// Runs one interval step: Algorithm 1 per module on the ATD counters,
     /// optional `max_step` clamping (extension), mask application, counter
     /// reset, and decision logging.
-    pub fn run_interval(&mut self, l2: &mut SetAssocCache, now: u64) -> IntervalOutcome {
+    pub fn run_interval(&mut self, l2: &mut SetAssocCache, now: u64) -> ControllerAction {
         debug_assert!(self.due(now));
         self.next_interval += self.params.interval_cycles;
 
@@ -173,11 +158,33 @@ impl EsteemController {
             active_fraction: l2.active_fraction(),
         });
 
-        IntervalOutcome {
+        ControllerAction {
             slot_transitions: merged.slot_transitions,
             writebacks: merged.writebacks,
             discards: merged.discards,
         }
+    }
+}
+
+impl CacheController for EsteemController {
+    fn name(&self) -> &'static str {
+        "esteem"
+    }
+
+    fn interval_cycles(&self) -> Option<u64> {
+        Some(self.params.interval_cycles)
+    }
+
+    fn due(&self, now: u64) -> bool {
+        now >= self.next_interval
+    }
+
+    fn on_interval(&mut self, ctx: IntervalCtx<'_>) -> ControllerAction {
+        self.run_interval(ctx.l2, ctx.now)
+    }
+
+    fn log(&self) -> &[IntervalRecord] {
+        &self.log
     }
 }
 
@@ -234,6 +241,83 @@ mod tests {
         let lo = algorithm1(&hits, 0.90, 1, true);
         let hi = algorithm1(&hits, 0.99, 1, true);
         assert!(hi >= lo);
+    }
+
+    #[test]
+    fn noise_floor_suppresses_tail_inversions() {
+        // Hot MRU with tiny non-monotone wiggles deep in the tail: a
+        // literal `<` comparison would count 4 anomalies (= A/4 for
+        // A=16) and freeze the module at A-1, but every inversion is
+        // below the noise floor max(total/128, 4), so the guard must
+        // stay quiet and deep turn-off proceed.
+        let hits = [10_000u64, 400, 50, 0, 1, 0, 2, 0, 1, 0, 1, 0, 1, 0, 1, 0];
+        let d = algorithm1(&hits, 0.97, 3, true);
+        assert!(
+            d <= 3,
+            "noise-level inversions must not trip the guard: {d}"
+        );
+        // The same shape with the tail scaled above the floor is a real
+        // anti-recency pattern and must trip it.
+        let loud = [
+            10_000u64, 400, 50, 0, 300, 0, 300, 0, 300, 0, 300, 0, 300, 0, 300, 0,
+        ];
+        assert_eq!(algorithm1(&loud, 0.97, 3, true), 15, "A-1 clamp");
+    }
+
+    #[test]
+    fn guard_disabled_ignores_anomalies() {
+        // Same loud anti-recency histogram as above; with the guard
+        // ablated the coverage rule alone decides (and must reach deep
+        // positions to cover alpha of the mass).
+        let loud = [
+            10_000u64, 400, 50, 0, 300, 0, 300, 0, 300, 0, 300, 0, 300, 0, 300, 0,
+        ];
+        let guarded = algorithm1(&loud, 0.97, 3, true);
+        let free = algorithm1(&loud, 0.97, 3, false);
+        assert!(free < guarded, "ablation must allow more turn-off");
+        // And with hits concentrated at MRU the two agree exactly.
+        let hot = [5_000u64, 10, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(
+            algorithm1(&hot, 0.97, 3, true),
+            algorithm1(&hot, 0.97, 3, false)
+        );
+    }
+
+    #[test]
+    fn single_way_module() {
+        // A = 1: no positions to compare, no anomalies possible; the
+        // answer is always the single way regardless of guard or hits.
+        assert_eq!(algorithm1(&[0u64], 0.97, 1, true), 1);
+        assert_eq!(algorithm1(&[12345u64], 0.97, 1, true), 1);
+        assert_eq!(algorithm1(&[7u64], 0.5, 1, false), 1);
+    }
+
+    #[test]
+    fn tiny_modules_engage_guard_at_zero_anomalies() {
+        // For A < 4, A/4 = 0, so with the guard enabled `anomalies >= 0`
+        // always holds and the module is permanently treated as non-LRU:
+        // the decision clamps to max(A-1, i+1) rather than A_min.
+        let hits = [1_000u64, 0];
+        assert_eq!(algorithm1(&hits, 0.97, 1, true), 1, "max(A-1, 1) = 1");
+        let hits3 = [1_000u64, 0, 0];
+        assert_eq!(algorithm1(&hits3, 0.97, 1, true), 2, "max(A-1, 1) = 2");
+        // Guard off restores the pure coverage decision.
+        assert_eq!(algorithm1(&hits3, 0.97, 1, false), 1);
+    }
+
+    #[test]
+    fn non_lru_clamp_takes_deeper_of_coverage_and_a_minus_1() {
+        // Non-LRU module whose coverage point lands at the last position:
+        // max(A-1, i+1) must yield i+1 = A, not A-1.
+        let uniform = [100u64; 8]; // inversions nowhere, but force guard
+                                   // via an anti-recency ramp instead:
+        let ramp: Vec<u64> = (1..=8u64).map(|x| x * 100).collect();
+        // 8 positions, anomalies = 7 >= 2 = A/4: non-LRU. Coverage of
+        // 0.99 needs all 8 ways; the clamp must not cap it at 7.
+        assert_eq!(algorithm1(&ramp, 0.99, 3, true), 8);
+        // Uniform histogram: monotone (no strict increase), guard quiet;
+        // 0.97 coverage lands at position 8 anyway.
+        assert_eq!(algorithm1(&uniform, 0.97, 3, true), 8);
     }
 
     fn l2() -> SetAssocCache {

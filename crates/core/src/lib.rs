@@ -9,12 +9,18 @@
 //!
 //! * [`esteem::algorithm1`] — the paper's Algorithm 1 (per-module
 //!   alpha-coverage way selection with the non-LRU anomaly guard);
+//! * [`controller::CacheController`] — the pluggable reconfiguration-policy
+//!   trait the quantum loop drives: ESTEEM's interval engine, the passive
+//!   [`controller::NullController`] behind the baseline/Refrint
+//!   comparators, and the [`controller::StaticWaysController`] ablation;
 //! * [`esteem::EsteemController`] — the interval engine: every
 //!   `interval_cycles` it reads the ATD counters, runs Algorithm 1, applies
 //!   the per-module way masks (flushing turned-off ways), and logs the
 //!   decision (the data behind Figure 2);
 //! * [`system::Simulator`] — the deterministic quantum-interleaved
-//!   multicore simulation loop;
+//!   multicore simulation loop, with component statistics pulled into an
+//!   `esteem-stats` registry at warm-up/interval/finish boundaries and an
+//!   optional per-interval JSONL observer;
 //! * [`runner`] — paired baseline-vs-technique runs producing the paper's
 //!   §6.4 metrics (energy saving %, weighted/fair speedup, RPKI decrease,
 //!   MPKI increase, active ratio).
@@ -28,6 +34,7 @@
 //! modelled as always hitting the L1I.
 
 pub mod config;
+pub mod controller;
 pub mod core_model;
 pub mod esteem;
 pub mod report;
@@ -35,6 +42,9 @@ pub mod runner;
 pub mod system;
 
 pub use config::{AlgoParams, SystemConfig, Technique};
+pub use controller::{
+    CacheController, ControllerAction, IntervalCtx, NullController, StaticWaysController,
+};
 pub use esteem::EsteemController;
 pub use report::{CoreReport, IntervalRecord, SimReport};
 pub use runner::{run_comparison, Comparison};

@@ -4,11 +4,15 @@ use esteem_cache::SetAssocCache;
 use esteem_edram::{BankContention, RefreshEngine};
 use esteem_energy::{EnergyBreakdown, EnergyInputs, EnergyParams};
 use esteem_mem::MainMemory;
+use esteem_stats::{
+    Counter, IntervalObserver, IntervalSample, StatsReading, StatsRegistry, StatsSource,
+    TimeWeighted,
+};
 use esteem_workloads::BenchmarkProfile;
 
 use crate::config::SystemConfig;
+use crate::controller::{self, CacheController, IntervalCtx};
 use crate::core_model::{CoreState, CYCLE_FP_SHIFT};
-use crate::esteem::EsteemController;
 use crate::report::{CoreReport, SimReport};
 
 /// Deterministic trace-driven multicore simulator.
@@ -16,16 +20,30 @@ use crate::report::{CoreReport, SimReport};
 /// Cores advance in fixed-size time quanta (relaxed barrier
 /// synchronisation, the approach Sniper itself uses for scalability): each
 /// quantum, every core executes until its local clock passes the quantum
-/// boundary; then the refresh engine, contention windows, and — for
-/// ESTEEM — the interval engine run. The loop ends when every core has
-/// reached its instruction target; early finishers keep running so the
-/// shared L2 keeps seeing their traffic (paper §6.4 methodology).
+/// boundary; then the refresh engine, contention windows, and the cache
+/// controller run. The loop ends when every core has reached its
+/// instruction target; early finishers keep running so the shared L2 keeps
+/// seeing their traffic (paper §6.4 methodology).
+///
+/// **Controller.** The reconfiguration policy is a boxed
+/// [`CacheController`] selected from the technique: ESTEEM's interval
+/// engine, the passive [`controller::NullController`] for the
+/// baseline/Refrint family, or the static-ways ablation. The quantum loop
+/// only knows the trait.
 ///
 /// **Warm-up.** The first `warmup_cycles` stand in for the paper's
-/// 10 B-instruction fast-forward: caches fill and ESTEEM converges. At the
-/// first quantum boundary past the warm-up the simulator snapshots every
-/// system counter (and each core's instruction/cycle position); the final
-/// report contains only post-snapshot deltas.
+/// 10 B-instruction fast-forward: caches fill and the controller
+/// converges. At the first quantum boundary past the warm-up the simulator
+/// takes one [`StatsReading`] of every component (and marks each core's
+/// instruction/cycle position); the final report contains only
+/// post-reading deltas, computed by the [`StatsRegistry`].
+///
+/// **Observation.** An optional [`IntervalObserver`] (attached with
+/// [`Simulator::with_observer`]) receives one [`IntervalSample`] per
+/// observation interval — the controller's reconfiguration interval when
+/// it has one, otherwise one retention period — plus a final partial
+/// sample at the end of the run. Observers are read-only taps; attaching
+/// one cannot change simulation results.
 pub struct Simulator {
     cfg: SystemConfig,
     workload_label: String,
@@ -34,35 +52,28 @@ pub struct Simulator {
     refresh: RefreshEngine,
     contention: BankContention,
     mem: MainMemory,
-    controller: Option<EsteemController>,
+    controller: Box<dyn CacheController>,
     clock: u64,
     next_window: u64,
-    /// Integral of active slots over time (for the time-averaged `F_A`).
-    active_slot_cycles: f64,
-    n_l: u64,
-    reconfig_writebacks: u64,
-    reconfig_discards: u64,
+    /// Exact integral of active slots over time (for the time-averaged
+    /// `F_A`): integer cycle-slot accounting, associative by construction.
+    active_slot_integral: TimeWeighted,
+    /// The paper's `N_L`: line slots that changed power state.
+    n_l: Counter,
+    reconfig_writebacks: Counter,
+    reconfig_discards: Counter,
     /// Reusable buffer for per-bank refresh drains (avoids a Vec
     /// allocation every contention window).
     bank_refresh_scratch: Vec<u64>,
-    /// System-counter snapshot at the end of warm-up (see type docs).
-    snap: Option<Snapshot>,
-}
-
-/// System counters at the measurement start (end of global warm-up).
-#[derive(Debug, Clone, Copy, Default)]
-struct Snapshot {
-    clock: u64,
-    active_slot_cycles: f64,
-    l2_hits: u64,
-    l2_misses: u64,
-    l2_writebacks: u64,
-    refreshes: u64,
-    invalidations: u64,
-    mem_reads: u64,
-    mem_writes: u64,
-    n_l: u64,
-    intervals_logged: usize,
+    /// Warm-up reading and measured-region delta handling.
+    registry: StatsRegistry,
+    observer: Option<Box<dyn IntervalObserver>>,
+    /// Observation cadence in cycles (see type docs).
+    obs_period: u64,
+    next_obs: u64,
+    /// Reading at the previous observation (samples carry deltas).
+    last_obs: StatsReading,
+    last_obs_cycle: u64,
 }
 
 impl Simulator {
@@ -83,10 +94,7 @@ impl Simulator {
         let contention = BankContention::new(cfg.l2_banks, cfg.retention.period_cycles)
             .with_params(2.0, cfg.bank_burst_lines);
         let mem = MainMemory::new(cfg.mem, cfg.retention.period_cycles);
-        let controller = cfg
-            .technique
-            .algo_params()
-            .map(|p| EsteemController::new(*p));
+        let controller = controller::for_technique(&cfg.technique);
         let cores = profiles
             .iter()
             .enumerate()
@@ -98,6 +106,9 @@ impl Simulator {
             })
             .collect();
         let next_window = cfg.retention.period_cycles;
+        let obs_period = controller
+            .interval_cycles()
+            .unwrap_or(cfg.retention.period_cycles);
         Self {
             cfg,
             workload_label: label.to_owned(),
@@ -109,38 +120,73 @@ impl Simulator {
             controller,
             clock: 0,
             next_window,
-            active_slot_cycles: 0.0,
-            n_l: 0,
-            reconfig_writebacks: 0,
-            reconfig_discards: 0,
+            active_slot_integral: TimeWeighted::new(),
+            n_l: Counter::new(),
+            reconfig_writebacks: Counter::new(),
+            reconfig_discards: Counter::new(),
             bank_refresh_scratch: Vec::new(),
-            snap: None,
+            registry: StatsRegistry::new(),
+            observer: None,
+            obs_period,
+            next_obs: obs_period,
+            last_obs: StatsReading::new(),
+            last_obs_cycle: 0,
         }
-    }
-
-    fn take_snapshot(&mut self) {
-        for c in &mut self.cores {
-            c.mark_warmup();
-        }
-        self.snap = Some(Snapshot {
-            clock: self.clock,
-            active_slot_cycles: self.active_slot_cycles,
-            l2_hits: self.l2.stats.hits,
-            l2_misses: self.l2.stats.misses,
-            l2_writebacks: self.l2.stats.writebacks,
-            refreshes: self.refresh.total_refreshes(),
-            invalidations: self.refresh.total_invalidations(),
-            mem_reads: self.mem.stats.reads,
-            mem_writes: self.mem.stats.writes,
-            n_l: self.n_l,
-            intervals_logged: self.controller.as_ref().map(|c| c.log.len()).unwrap_or(0),
-        });
     }
 
     /// Convenience: single-core simulator.
     pub fn single(cfg: SystemConfig, profile: &BenchmarkProfile) -> Self {
         let label = profile.name.to_owned();
         Self::new(cfg, std::slice::from_ref(profile), &label)
+    }
+
+    /// Attaches a per-interval observer (builder style). At most one;
+    /// later calls replace earlier ones.
+    pub fn with_observer(mut self, observer: Box<dyn IntervalObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The controller driving this run (diagnostics).
+    pub fn controller_name(&self) -> &'static str {
+        self.controller.name()
+    }
+
+    /// One full hierarchical reading of every component's statistics.
+    /// Pull-based and read-only: nothing on the access hot path, called
+    /// only at warm-up/observation/finish boundaries.
+    fn sample_stats(&self) -> StatsReading {
+        let mut r = StatsReading::new();
+        r.scope("sim", |s| s.counter("clock", self.clock));
+        r.scope("l2", |s| {
+            self.l2.collect(s);
+            s.weighted("active_slot_cycles", self.active_slot_integral.integral());
+        });
+        r.register("refresh", &self.refresh);
+        r.register("bank", &self.contention);
+        r.register("mem", &self.mem);
+        r.scope("reconfig", |s| {
+            s.counter("slot_transitions", self.n_l.get());
+            s.counter("writebacks", self.reconfig_writebacks.get());
+            s.counter("discards", self.reconfig_discards.get());
+        });
+        r.scope("controller", |s| {
+            s.counter("intervals", self.controller.log().len() as u64)
+        });
+        r.scope("cores", |s| {
+            for (i, c) in self.cores.iter().enumerate() {
+                s.register(&i.to_string(), c);
+            }
+        });
+        r
+    }
+
+    fn take_warmup_reading(&mut self) {
+        for c in &mut self.cores {
+            c.mark_warmup();
+        }
+        let reading = self.sample_stats();
+        self.registry.mark_warmup(reading);
     }
 
     /// One shared-L2 access. `now` is the issuing core's local cycle.
@@ -202,20 +248,59 @@ impl Simulator {
                 self.next_window += self.cfg.retention.period_cycles;
             }
         }
-        if let Some(ctl) = &mut self.controller {
-            if ctl.due(qend) {
-                let out = ctl.run_interval(&mut self.l2, qend);
-                self.n_l += out.slot_transitions;
-                self.reconfig_writebacks += out.writebacks;
-                self.reconfig_discards += out.discards;
-                // Flushed dirty lines travel to memory.
-                for _ in 0..out.writebacks {
-                    self.mem.write();
-                }
+        if self.controller.due(qend) {
+            let act = self.controller.on_interval(IntervalCtx {
+                l2: &mut self.l2,
+                now: qend,
+            });
+            self.n_l.add(act.slot_transitions);
+            self.reconfig_writebacks.add(act.writebacks);
+            self.reconfig_discards.add(act.discards);
+            // Flushed dirty lines travel to memory.
+            for _ in 0..act.writebacks {
+                self.mem.write();
             }
         }
-        self.active_slot_cycles += self.l2.active_slots() as f64 * self.cfg.quantum_cycles as f64;
+        self.active_slot_integral
+            .accumulate(self.l2.active_slots(), self.cfg.quantum_cycles);
         self.clock = qend;
+        if self.observer.is_some() && qend >= self.next_obs {
+            self.emit_observation(qend);
+            while self.next_obs <= qend {
+                self.next_obs += self.obs_period;
+            }
+        }
+    }
+
+    /// Emits one [`IntervalSample`] covering `(last_obs_cycle, now]`.
+    /// Caller guarantees an observer is attached.
+    fn emit_observation(&mut self, now: u64) {
+        let current = self.sample_stats();
+        let d = current.delta_since(&self.last_obs);
+        let instructions = (0..self.cores.len())
+            .map(|i| d.counter(&format!("cores/{i}/instructions")))
+            .sum();
+        let sample = IntervalSample {
+            cycle: now,
+            span_cycles: now - self.last_obs_cycle,
+            ways: self.l2.module_ways().to_vec(),
+            active_fraction: self.l2.active_fraction(),
+            l2_hits: d.counter("l2/hits"),
+            l2_misses: d.counter("l2/misses"),
+            l2_writebacks: d.counter("l2/writebacks"),
+            refreshes: d.counter("refresh/refreshes"),
+            invalidations: d.counter("refresh/invalidations"),
+            mem_reads: d.counter("mem/reads"),
+            mem_writes: d.counter("mem/writes"),
+            slot_transitions: d.counter("reconfig/slot_transitions"),
+            instructions,
+        };
+        self.observer
+            .as_mut()
+            .expect("caller checked")
+            .on_interval(&sample);
+        self.last_obs = current;
+        self.last_obs_cycle = now;
     }
 
     /// Runs to completion and produces the report.
@@ -239,34 +324,48 @@ impl Simulator {
                 }
             }
             self.quantum_end(qend);
-            if self.snap.is_none() && qend >= self.cfg.warmup_cycles {
-                self.take_snapshot();
+            if !self.registry.warmed() && qend >= self.cfg.warmup_cycles {
+                self.take_warmup_reading();
             }
         }
         self.finish()
     }
 
-    fn finish(self) -> SimReport {
-        // Measured region = everything after the warm-up snapshot.
-        let snap = self.snap.unwrap_or_default();
-        let cycles = self.clock - snap.clock;
+    fn finish(mut self) -> SimReport {
+        if self.observer.is_some() {
+            // Close the tail: a final partial sample unless the run ended
+            // exactly on an observation boundary.
+            if self.clock > self.last_obs_cycle {
+                self.emit_observation(self.clock);
+            }
+            self.observer
+                .as_mut()
+                .expect("checked above")
+                .flush()
+                .expect("interval-log write failed");
+        }
+        // Measured region = everything after the warm-up reading.
+        let warm = self.registry.warmup_reading();
+        let m = self.sample_stats().delta_since(&warm);
+        let cycles = m.counter("sim/clock");
         let seconds = cycles as f64 / self.cfg.clock_hz;
         let total_slots = self.l2.geometry().total_slots() as f64;
         let active_fraction = if cycles > 0 {
-            ((self.active_slot_cycles - snap.active_slot_cycles) / (total_slots * cycles as f64))
-                .min(1.0)
+            // The integral delta is an exact integer below 2^53 for any
+            // realistic run, so this divides the same quantity the old
+            // f64 accumulator carried — bit-identical results.
+            (m.weighted("l2/active_slot_cycles") as f64 / (total_slots * cycles as f64)).min(1.0)
         } else {
             1.0
         };
         let inputs = EnergyInputs {
             seconds,
             active_fraction,
-            l2_hits: self.l2.stats.hits - snap.l2_hits,
-            l2_misses: self.l2.stats.misses - snap.l2_misses,
-            refreshes: self.refresh.total_refreshes() - snap.refreshes,
-            mem_accesses: self.mem.stats.reads - snap.mem_reads + self.mem.stats.writes
-                - snap.mem_writes,
-            block_transitions: self.n_l - snap.n_l,
+            l2_hits: m.counter("l2/hits"),
+            l2_misses: m.counter("l2/misses"),
+            refreshes: m.counter("refresh/refreshes"),
+            mem_accesses: m.counter("mem/reads") + m.counter("mem/writes"),
+            block_transitions: m.counter("reconfig/slot_transitions"),
         };
         let params = EnergyParams::for_l2_capacity(self.cfg.l2_capacity);
         let energy = EnergyBreakdown::compute(&params, &inputs);
@@ -284,6 +383,7 @@ impl Simulator {
                 l1_misses: c.l1d.stats.misses,
             })
             .collect();
+        let intervals_logged = warm.counter("controller/intervals") as usize;
         SimReport {
             workload: self.workload_label,
             technique: self.cfg.technique.name().to_owned(),
@@ -291,18 +391,14 @@ impl Simulator {
             per_core,
             inputs,
             energy,
-            l2_hits: self.l2.stats.hits - snap.l2_hits,
-            l2_misses: self.l2.stats.misses - snap.l2_misses,
-            l2_writebacks: self.l2.stats.writebacks - snap.l2_writebacks,
-            refreshes: self.refresh.total_refreshes() - snap.refreshes,
-            refresh_invalidations: self.refresh.total_invalidations() - snap.invalidations,
-            mem_accesses: self.mem.stats.reads - snap.mem_reads + self.mem.stats.writes
-                - snap.mem_writes,
+            l2_hits: m.counter("l2/hits"),
+            l2_misses: m.counter("l2/misses"),
+            l2_writebacks: m.counter("l2/writebacks"),
+            refreshes: m.counter("refresh/refreshes"),
+            refresh_invalidations: m.counter("refresh/invalidations"),
+            mem_accesses: m.counter("mem/reads") + m.counter("mem/writes"),
             active_ratio: active_fraction,
-            intervals: self
-                .controller
-                .map(|c| c.log[snap.intervals_logged..].to_vec())
-                .unwrap_or_default(),
+            intervals: self.controller.log()[intervals_logged..].to_vec(),
             final_bank_wait: self.contention.mean_wait(),
         }
     }
@@ -312,6 +408,7 @@ impl Simulator {
 mod tests {
     use super::*;
     use crate::config::{AlgoParams, Technique};
+    use esteem_stats::observer::VecSink;
     use esteem_workloads::benchmark_by_name;
 
     /// Small, fast config for tests.
@@ -436,5 +533,87 @@ mod tests {
         // Streaming: plenty of misses and memory traffic.
         assert!(r.l2_misses > 1000);
         assert!(r.mem_accesses >= r.l2_misses);
+    }
+
+    #[test]
+    fn static_ways_technique_end_to_end() {
+        let p = benchmark_by_name("gamess").unwrap();
+        let base = Simulator::single(quick(Technique::Baseline, 600_000), &p).run();
+        let stat = Simulator::single(quick(Technique::StaticWays { ways: 4 }, 600_000), &p).run();
+        // 4 of 16 ways powered: F_A converges to 0.25 (warm-up covers the
+        // single reconfiguration, so the measured region is all post-shrink).
+        assert!(
+            (stat.active_ratio - 0.25).abs() < 1e-9,
+            "active ratio {}",
+            stat.active_ratio
+        );
+        assert!(stat.refreshes < base.refreshes / 2);
+        assert!(
+            stat.intervals.is_empty(),
+            "the one-shot shrink happens during warm-up"
+        );
+        assert_eq!(stat.technique, "static-ways");
+    }
+
+    /// A sink wrapper sharing collected samples with the test through an
+    /// `Arc<Mutex<..>>` (the simulator consumes the box it is given).
+    struct SharedSink(std::sync::Arc<std::sync::Mutex<VecSink>>);
+
+    impl IntervalObserver for SharedSink {
+        fn on_interval(&mut self, sample: &IntervalSample) {
+            self.0.lock().unwrap().on_interval(sample);
+        }
+    }
+
+    #[test]
+    fn observer_streams_interval_samples() {
+        let p = benchmark_by_name("gamess").unwrap();
+        let shared = std::sync::Arc::new(std::sync::Mutex::new(VecSink::new()));
+        let cfg = quick(Technique::Esteem(quick_algo()), 1_500_000);
+        let r = Simulator::single(cfg, &p)
+            .with_observer(Box::new(SharedSink(shared.clone())))
+            .run();
+        let samples = std::mem::take(&mut shared.lock().unwrap().samples);
+        assert!(samples.len() >= 3, "got {} samples", samples.len());
+        // Cadence: ESTEEM's interval (500k), plus a final partial sample.
+        for s in &samples[..samples.len() - 1] {
+            assert_eq!(s.span_cycles, 500_000);
+            assert_eq!(s.cycle % 500_000, 0);
+            assert_eq!(s.ways.len(), 8, "one way count per module");
+        }
+        assert!(samples.windows(2).all(|w| w[0].cycle < w[1].cycle));
+        // Deltas must add up to lifetime totals: compare the summed
+        // refresh deltas with the engine's lifetime counter via the
+        // measured report plus its warm-up share.
+        let total_refreshes: u64 = samples.iter().map(|s| s.refreshes).sum();
+        assert!(total_refreshes >= r.refreshes);
+        let total_instrs: u64 = samples.iter().map(|s| s.instructions).sum();
+        assert!(total_instrs >= 1_500_000);
+    }
+
+    #[test]
+    fn observer_does_not_perturb_results() {
+        let p = benchmark_by_name("gcc").unwrap();
+        let plain = Simulator::single(quick(Technique::Esteem(quick_algo()), 400_000), &p).run();
+        let shared = std::sync::Arc::new(std::sync::Mutex::new(VecSink::new()));
+        let observed = Simulator::single(quick(Technique::Esteem(quick_algo()), 400_000), &p)
+            .with_observer(Box::new(SharedSink(shared)))
+            .run();
+        assert_eq!(plain, observed, "observer must be a read-only tap");
+    }
+
+    #[test]
+    fn observer_cadence_falls_back_to_retention_period() {
+        let p = benchmark_by_name("gamess").unwrap();
+        let shared = std::sync::Arc::new(std::sync::Mutex::new(VecSink::new()));
+        Simulator::single(quick(Technique::Baseline, 400_000), &p)
+            .with_observer(Box::new(SharedSink(shared.clone())))
+            .run();
+        let samples = std::mem::take(&mut shared.lock().unwrap().samples);
+        assert!(!samples.is_empty());
+        // Retention period is 100k cycles (50us at 2 GHz).
+        assert_eq!(samples[0].cycle, 100_000);
+        assert_eq!(samples[0].ways, vec![16], "baseline: one full module");
+        assert!((samples[0].active_fraction - 1.0).abs() < 1e-12);
     }
 }

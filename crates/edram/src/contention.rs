@@ -131,6 +131,15 @@ impl BankContention {
     }
 }
 
+impl esteem_stats::StatsSource for BankContention {
+    /// Registers the contention model's diagnostic gauges (`mean_wait`,
+    /// `mean_utilization` over the last closed window).
+    fn collect(&self, out: &mut esteem_stats::Scope<'_>) {
+        out.gauge("mean_wait", self.mean_wait());
+        out.gauge("mean_utilization", self.mean_utilization());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -141,7 +141,11 @@ impl RefreshEngine {
                 while self.next_period_end <= to_cycle {
                     // Borrow the per-bank counts directly: `cache` and
                     // `self.bank_window` are disjoint, so no copy is needed.
-                    for (w, n) in self.bank_window.iter_mut().zip(cache.valid_lines_per_bank()) {
+                    for (w, n) in self
+                        .bank_window
+                        .iter_mut()
+                        .zip(cache.valid_lines_per_bank())
+                    {
                         *w += n;
                         report.refreshes += n;
                     }
@@ -258,6 +262,15 @@ impl RefreshEngine {
 
     pub fn retention(&self) -> RetentionSpec {
         self.retention
+    }
+}
+
+impl esteem_stats::StatsSource for RefreshEngine {
+    /// Registers lifetime refresh work (`refreshes`, `invalidations`)
+    /// into the stats tree.
+    fn collect(&self, out: &mut esteem_stats::Scope<'_>) {
+        out.counter("refreshes", self.total_refreshes);
+        out.counter("invalidations", self.total_invalidations);
     }
 }
 

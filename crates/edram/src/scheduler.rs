@@ -24,7 +24,7 @@
 //! hardware division: the phase length is inverted once at construction
 //! into a 64-bit fixed-point reciprocal and each quotient is a widening
 //! multiply plus shift (exact for the cycle ranges the simulator can
-//! produce; see [`PhaseDiv`]).
+//! produce; see `PhaseDiv`).
 
 /// What the policy callback decided for a due line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

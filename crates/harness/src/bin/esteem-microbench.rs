@@ -117,11 +117,7 @@ fn bench_end_to_end(benches: &[&str]) -> (f64, f64) {
     let scale = Scale::Bench;
     let mut algo = default_algo(1);
     algo.interval_cycles = scale.interval_cycles();
-    let techniques = [
-        Technique::Baseline,
-        Technique::Esteem(algo),
-        Technique::Rpv,
-    ];
+    let techniques = [Technique::Baseline, Technique::Esteem(algo), Technique::Rpv];
     let mut simulated_instructions = 0u64;
     let started = Instant::now();
     for &name in benches {

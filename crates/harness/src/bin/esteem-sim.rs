@@ -4,20 +4,25 @@
 //!
 //! ```text
 //! esteem-sim [options] <benchmark | mix-acronym>
-//!   --technique baseline|rpv|rpd|periodic-valid|esteem|ecc   (default esteem)
+//!   --technique baseline|rpv|rpd|periodic-valid|esteem|ecc|static
+//!                             (default esteem)
 //!   --retention <us>          retention period (default 50)
 //!   --instructions <N>        per-core instructions (default 10M)
 //!   --alpha <f> --a-min <n> --modules <m> --interval <cycles> --rs <n>
 //!   --ecc-periods <k> --ecc-bits <b>     (ecc technique)
+//!   --ways <n>                fixed way count (static technique, default 4)
 //!   --seed <n>
 //!   --json                    print the report as JSON
+//!   --interval-log <file>     stream one JSONL record per interval
 //!   --record <file.estr> <N>  record N bundles of the workload's stream
 //! ```
 
+use std::io::BufWriter;
 use std::process::ExitCode;
 
 use esteem_core::{AlgoParams, Simulator, SystemConfig, Technique};
 use esteem_edram::RetentionSpec;
+use esteem_stats::JsonlSink;
 use esteem_workloads::{benchmark_by_name, mixes::mix_by_acronym, trace, AccessStream};
 
 #[derive(Debug)]
@@ -33,8 +38,10 @@ struct Args {
     rs: u32,
     ecc_periods: u8,
     ecc_bits: u8,
+    ways: u8,
     seed: u64,
     json: bool,
+    interval_log: Option<String>,
     record: Option<(String, u64)>,
 }
 
@@ -52,8 +59,10 @@ impl Default for Args {
             rs: 64,
             ecc_periods: 4,
             ecc_bits: 1,
+            ways: 4,
             seed: 1,
             json: false,
+            interval_log: None,
             record: None,
         }
     }
@@ -111,12 +120,18 @@ fn parse() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("{e}"))?
             }
+            "--ways" => {
+                a.ways = next(&mut it, "--ways")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             "--seed" => {
                 a.seed = next(&mut it, "--seed")?
                     .parse()
                     .map_err(|e| format!("{e}"))?
             }
             "--json" => a.json = true,
+            "--interval-log" => a.interval_log = Some(next(&mut it, "--interval-log")?),
             "--record" => {
                 let path = next(&mut it, "--record")?;
                 let n: u64 = next(&mut it, "--record")?
@@ -196,6 +211,7 @@ fn main() -> ExitCode {
             periods: args.ecc_periods,
             ecc_bits: args.ecc_bits,
         },
+        "static" => Technique::StaticWays { ways: args.ways },
         other => {
             eprintln!("unknown technique '{other}'");
             return ExitCode::FAILURE;
@@ -211,7 +227,18 @@ fn main() -> ExitCode {
     cfg.sim_instructions = args.instructions;
     cfg.seed = args.seed;
 
-    let report = Simulator::new(cfg, &profiles, &label).run();
+    let mut sim = Simulator::new(cfg, &profiles, &label);
+    if let Some(path) = &args.interval_log {
+        let file = match std::fs::File::create(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("creating {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        sim = sim.with_observer(Box::new(JsonlSink::new(BufWriter::new(file))));
+    }
+    let report = sim.run();
     if args.json {
         println!(
             "{}",

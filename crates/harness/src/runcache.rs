@@ -170,8 +170,14 @@ mod tests {
         let fresh = Simulator::new(cfg.clone(), std::slice::from_ref(&p), "gamess").run();
         let first = run_cached(cfg.clone(), std::slice::from_ref(&p), "gamess");
         let second = run_cached(cfg, std::slice::from_ref(&p), "gamess");
-        assert_eq!(serde_json::to_string(&fresh).unwrap(), serde_json::to_string(&first).unwrap());
-        assert_eq!(serde_json::to_string(&first).unwrap(), serde_json::to_string(&second).unwrap());
+        assert_eq!(
+            serde_json::to_string(&fresh).unwrap(),
+            serde_json::to_string(&first).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&second).unwrap()
+        );
         let (hits, _) = stats();
         assert!(hits >= 1, "second lookup must hit");
     }

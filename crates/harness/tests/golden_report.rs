@@ -1,0 +1,68 @@
+//! Golden-report guard: the exact `SimReport` JSON for the Table 3
+//! "Default" configuration, captured before the controller/stats
+//! refactor. Any byte-level drift in the report (field order, counter
+//! values, float formatting) breaks the run-cache fingerprint contract,
+//! so this test compares the serialized report against the committed
+//! golden file verbatim.
+//!
+//! Regenerate (only when an intentional behavior change is made — bump
+//! `runcache::FINGERPRINT_VERSION` in the same commit!) with:
+//!
+//! ```text
+//! ESTEEM_BLESS=1 cargo test -p esteem-harness --test golden_report
+//! ```
+
+use esteem_core::{Simulator, SystemConfig, Technique};
+use esteem_harness::{default_algo, single_core_cfg, Scale};
+use esteem_workloads::benchmark_by_name;
+
+/// The Table 3 "Default" row's pair of runs at bench scale (the same
+/// config construction as `experiments::table3::run_cell`).
+fn table3_default_cfg(technique: Technique) -> SystemConfig {
+    single_core_cfg(technique, Scale::Bench, 50.0)
+}
+
+fn run(technique: Technique) -> String {
+    let p = benchmark_by_name("gamess").unwrap();
+    let report = Simulator::new(
+        table3_default_cfg(technique),
+        std::slice::from_ref(&p),
+        "gamess",
+    )
+    .run();
+    serde_json::to_string_pretty(&report).expect("report serializes")
+}
+
+fn check_or_bless(file: &str, json: &str) {
+    let path = format!("{}/tests/golden/{file}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("ESTEEM_BLESS").is_some() {
+        std::fs::create_dir_all(format!("{}/tests/golden", env!("CARGO_MANIFEST_DIR"))).unwrap();
+        std::fs::write(&path, json).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path}: {e}"));
+    assert_eq!(
+        json, golden,
+        "SimReport JSON drifted from the pre-refactor golden ({file}); \
+         if intentional, re-bless and bump FINGERPRINT_VERSION"
+    );
+}
+
+#[test]
+fn table3_default_esteem_report_matches_golden() {
+    let mut algo = default_algo(1);
+    algo.interval_cycles = Scale::Bench.interval_cycles();
+    check_or_bless(
+        "simreport_table3_default_esteem.json",
+        &run(Technique::Esteem(algo)),
+    );
+}
+
+#[test]
+fn table3_default_baseline_report_matches_golden() {
+    check_or_bless(
+        "simreport_table3_default_baseline.json",
+        &run(Technique::Baseline),
+    );
+}

@@ -120,6 +120,16 @@ impl MainMemory {
     }
 }
 
+impl esteem_stats::StatsSource for MainMemory {
+    /// Registers memory traffic counters (`reads`, `writes`) and the
+    /// current modelled queue delay into the stats tree.
+    fn collect(&self, out: &mut esteem_stats::Scope<'_>) {
+        out.counter("reads", self.stats.reads);
+        out.counter("writes", self.stats.writes);
+        out.gauge("queue_delay", self.current_queue_delay());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

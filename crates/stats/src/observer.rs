@@ -1,0 +1,177 @@
+//! Per-interval observation: streaming records out of a running
+//! simulation without touching its state.
+//!
+//! The system simulator emits one [`IntervalSample`] per observation
+//! interval (the controller's reconfiguration interval when it has one,
+//! otherwise one retention period). Counter fields are **deltas over the
+//! interval** — together with `cycle` they are exactly the inputs of the
+//! paper's energy model (eq. 2–8) at interval granularity; `ways` and
+//! `active_fraction` capture the configuration the controller chose.
+
+use std::io::Write;
+
+use serde::Serialize;
+
+/// One observation interval's record (the `--interval-log` JSONL schema;
+/// see DESIGN.md §"Interval log").
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct IntervalSample {
+    /// Cycle at the end of the observation interval.
+    pub cycle: u64,
+    /// Interval length in cycles (the first record also covers cycle 0).
+    pub span_cycles: u64,
+    /// Active ways per module at the end of the interval.
+    pub ways: Vec<u8>,
+    /// Powered-on fraction of the L2 at the end of the interval.
+    pub active_fraction: f64,
+    /// L2 demand hits in the interval.
+    pub l2_hits: u64,
+    /// L2 demand misses in the interval.
+    pub l2_misses: u64,
+    /// L2 dirty evictions in the interval.
+    pub l2_writebacks: u64,
+    /// Lines refreshed in the interval.
+    pub refreshes: u64,
+    /// Lines invalidated instead of refreshed (RPD, ECC scrubs).
+    pub invalidations: u64,
+    /// Main-memory reads (fills) in the interval.
+    pub mem_reads: u64,
+    /// Main-memory writes (write-backs) in the interval.
+    pub mem_writes: u64,
+    /// Slot power-state transitions (the paper's `N_L`) in the interval.
+    pub slot_transitions: u64,
+    /// Instructions retired across all cores in the interval.
+    pub instructions: u64,
+}
+
+/// A sink for per-interval records. Observers are strictly read-only
+/// taps: the simulator's behavior must be identical with or without one.
+pub trait IntervalObserver: Send {
+    fn on_interval(&mut self, sample: &IntervalSample);
+
+    /// Flushes buffered records, surfacing any deferred I/O error. The
+    /// simulator calls this once at the end of the run.
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Streams every sample as one JSON object per line (JSON Lines).
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+    records: u64,
+    /// First I/O error, if any (subsequent writes are skipped).
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    pub fn new(out: W) -> Self {
+        Self {
+            out,
+            records: 0,
+            error: None,
+        }
+    }
+
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the first write error, if one occurred.
+    pub fn finish(mut self) -> std::io::Result<u64> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.records)
+    }
+}
+
+impl<W: Write + Send> IntervalObserver for JsonlSink<W> {
+    fn on_interval(&mut self, sample: &IntervalSample) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = serde_json::to_string(sample).expect("sample serializes");
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.error = Some(e);
+            return;
+        }
+        self.records += 1;
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+/// Collects samples in memory (tests and programmatic consumers).
+#[derive(Debug, Default)]
+pub struct VecSink {
+    pub samples: Vec<IntervalSample>,
+}
+
+impl VecSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl IntervalObserver for VecSink {
+    fn on_interval(&mut self, sample: &IntervalSample) {
+        self.samples.push(sample.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(cycle: u64) -> IntervalSample {
+        IntervalSample {
+            cycle,
+            span_cycles: 500,
+            ways: vec![16, 3],
+            active_fraction: 0.59375,
+            l2_hits: 10,
+            l2_misses: 2,
+            l2_writebacks: 1,
+            refreshes: 128,
+            invalidations: 0,
+            mem_reads: 2,
+            mem_writes: 1,
+            slot_transitions: 13,
+            instructions: 1000,
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_sample() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.on_interval(&sample(500));
+        sink.on_interval(&sample(1000));
+        assert_eq!(sink.records_written(), 2);
+        let text = String::from_utf8(sink.out.clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let v: serde::Value = serde_json::from_str(line).unwrap();
+            let m = v.as_map().expect("record is an object");
+            assert!(serde::map_get(m, "cycle").is_ok());
+            assert!(serde::map_get(m, "ways").is_ok());
+            assert!(serde::map_get(m, "refreshes").is_ok());
+        }
+        assert_eq!(sink.finish().unwrap(), 2);
+    }
+
+    #[test]
+    fn vec_sink_collects() {
+        let mut sink = VecSink::new();
+        sink.on_interval(&sample(500));
+        assert_eq!(sink.samples.len(), 1);
+        assert_eq!(sink.samples[0].cycle, 500);
+    }
+}

@@ -1,0 +1,257 @@
+//! Hierarchical stat collection and warm-up delta handling.
+
+use std::collections::BTreeMap;
+
+/// One collected stat value. Counters and time-weighted integrals carry
+/// delta semantics (subtractable); gauges are instantaneous.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatValue {
+    /// Monotone event count ([`crate::Counter`]).
+    Counter(u64),
+    /// Instantaneous value ([`crate::Gauge`]).
+    Gauge(f64),
+    /// `value x cycles` integral ([`crate::TimeWeighted`]).
+    Weighted(u128),
+}
+
+/// A component that can report its statistics into a [`Scope`].
+///
+/// Implementations must be read-only: collection happens at observation
+/// boundaries and must never perturb simulation state.
+pub trait StatsSource {
+    fn collect(&self, out: &mut Scope<'_>);
+}
+
+/// One full hierarchical sample of every registered component, keyed by
+/// slash-separated paths (`"l2/hits"`). Ordered (BTreeMap) so iteration
+/// and rendering are deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsReading {
+    values: BTreeMap<String, StatValue>,
+}
+
+impl StatsReading {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a named scope at the root and lets `f` populate it. Nested
+    /// groups are opened with [`Scope::scope`].
+    pub fn scope<R>(&mut self, name: &str, f: impl FnOnce(&mut Scope<'_>) -> R) -> R {
+        let mut s = Scope {
+            prefix: format!("{name}/"),
+            values: &mut self.values,
+        };
+        f(&mut s)
+    }
+
+    /// Collects `source` under `name` (convenience over [`Self::scope`]).
+    pub fn register(&mut self, name: &str, source: &dyn StatsSource) {
+        self.scope(name, |s| source.collect(s));
+    }
+
+    /// Counter value at `path` (0 when absent — an empty reading behaves
+    /// like the all-zero snapshot it replaces).
+    pub fn counter(&self, path: &str) -> u64 {
+        match self.values.get(path) {
+            Some(StatValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    pub fn gauge(&self, path: &str) -> f64 {
+        match self.values.get(path) {
+            Some(StatValue::Gauge(v)) => *v,
+            _ => 0.0,
+        }
+    }
+
+    pub fn weighted(&self, path: &str) -> u128 {
+        match self.values.get(path) {
+            Some(StatValue::Weighted(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates `(path, value)` in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &StatValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// `self - base`, per path: counters and weighted integrals subtract
+    /// (saturating — a component reset mid-run must not wrap), gauges
+    /// pass through unchanged. Paths missing from `base` subtract zero.
+    pub fn delta_since(&self, base: &StatsReading) -> StatsReading {
+        let values = self
+            .values
+            .iter()
+            .map(|(k, v)| {
+                let d = match (v, base.values.get(k)) {
+                    (StatValue::Counter(c), Some(StatValue::Counter(b))) => {
+                        StatValue::Counter(c.saturating_sub(*b))
+                    }
+                    (StatValue::Weighted(w), Some(StatValue::Weighted(b))) => {
+                        StatValue::Weighted(w.saturating_sub(*b))
+                    }
+                    // Gauges (and type-mismatched or missing bases) keep
+                    // the current value.
+                    _ => *v,
+                };
+                (k.clone(), d)
+            })
+            .collect();
+        StatsReading { values }
+    }
+}
+
+/// A prefix-carrying view into a [`StatsReading`] under construction.
+pub struct Scope<'a> {
+    prefix: String,
+    values: &'a mut BTreeMap<String, StatValue>,
+}
+
+impl Scope<'_> {
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.values
+            .insert(format!("{}{name}", self.prefix), StatValue::Counter(value));
+    }
+
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.values
+            .insert(format!("{}{name}", self.prefix), StatValue::Gauge(value));
+    }
+
+    pub fn weighted(&mut self, name: &str, value: u128) {
+        self.values
+            .insert(format!("{}{name}", self.prefix), StatValue::Weighted(value));
+    }
+
+    /// Opens a nested scope (`"cores"` -> `"cores/0"` -> `"cores/0/l1"`).
+    pub fn scope<R>(&mut self, name: &str, f: impl FnOnce(&mut Scope<'_>) -> R) -> R {
+        let mut s = Scope {
+            prefix: format!("{}{name}/", self.prefix),
+            values: self.values,
+        };
+        f(&mut s)
+    }
+
+    /// Collects a [`StatsSource`] under a nested scope.
+    pub fn register(&mut self, name: &str, source: &dyn StatsSource) {
+        self.scope(name, |s| source.collect(s));
+    }
+}
+
+/// Warm-up bookkeeping over [`StatsReading`]s: stores the reading taken
+/// at the end of warm-up, and turns a final reading into the measured
+/// (post-warm-up) delta. The simulator owns one per run.
+#[derive(Debug, Clone, Default)]
+pub struct StatsRegistry {
+    warmup: Option<StatsReading>,
+}
+
+impl StatsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the end-of-warm-up reading. Later calls overwrite (the
+    /// simulator guards against that — it marks warm-up exactly once).
+    pub fn mark_warmup(&mut self, reading: StatsReading) {
+        self.warmup = Some(reading);
+    }
+
+    pub fn warmed(&self) -> bool {
+        self.warmup.is_some()
+    }
+
+    /// The reading captured at warm-up (empty before [`Self::mark_warmup`],
+    /// which subtracts as all-zero).
+    pub fn warmup_reading(&self) -> StatsReading {
+        self.warmup.clone().unwrap_or_default()
+    }
+
+    /// Measured-region view of `current`: `current - warmup_reading`.
+    pub fn measured(&self, current: &StatsReading) -> StatsReading {
+        match &self.warmup {
+            Some(base) => current.delta_since(base),
+            None => current.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake {
+        hits: u64,
+    }
+
+    impl StatsSource for Fake {
+        fn collect(&self, out: &mut Scope<'_>) {
+            out.counter("hits", self.hits);
+            out.gauge("occupancy", 0.5);
+            out.weighted("busy", u128::from(self.hits) * 10);
+        }
+    }
+
+    #[test]
+    fn paths_are_hierarchical() {
+        let mut r = StatsReading::new();
+        r.register("l2", &Fake { hits: 7 });
+        r.scope("cores", |s| {
+            s.register("0", &Fake { hits: 1 });
+            s.scope("1", |s| s.counter("instructions", 42));
+        });
+        assert_eq!(r.counter("l2/hits"), 7);
+        assert_eq!(r.counter("cores/0/hits"), 1);
+        assert_eq!(r.counter("cores/1/instructions"), 42);
+        assert_eq!(r.counter("missing/path"), 0);
+        let paths: Vec<&str> = r.iter().map(|(k, _)| k).collect();
+        assert!(paths.windows(2).all(|w| w[0] < w[1]), "ordered iteration");
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_weighted_keeps_gauges() {
+        let mut before = StatsReading::new();
+        before.register("x", &Fake { hits: 10 });
+        let mut after = StatsReading::new();
+        after.register("x", &Fake { hits: 25 });
+        let d = after.delta_since(&before);
+        assert_eq!(d.counter("x/hits"), 15);
+        assert_eq!(d.weighted("x/busy"), 150);
+        assert_eq!(d.gauge("x/occupancy"), 0.5, "gauges pass through");
+    }
+
+    #[test]
+    fn delta_against_empty_base_is_identity() {
+        let mut r = StatsReading::new();
+        r.register("x", &Fake { hits: 3 });
+        let d = r.delta_since(&StatsReading::new());
+        assert_eq!(d, r);
+    }
+
+    #[test]
+    fn registry_measured_region() {
+        let mut reg = StatsRegistry::new();
+        assert!(!reg.warmed());
+        let mut warm = StatsReading::new();
+        warm.register("x", &Fake { hits: 4 });
+        reg.mark_warmup(warm);
+        assert!(reg.warmed());
+        let mut fin = StatsReading::new();
+        fin.register("x", &Fake { hits: 9 });
+        assert_eq!(reg.measured(&fin).counter("x/hits"), 5);
+        // Unwarmed registry: measured == current (all-zero snapshot).
+        let fresh = StatsRegistry::new();
+        assert_eq!(fresh.measured(&fin).counter("x/hits"), 9);
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`workloads`] — synthetic statistical twins of the 29 SPEC CPU2006 +
 //!   5 HPC benchmarks and the paper's 17 dual-core mixes;
 //! * [`energy`] — the paper's §6.3 energy model and §6.4 metrics;
+//! * [`stats`] — typed counters, the hierarchical stats registry with
+//!   warm-up delta handling, and per-interval observers (JSONL logs);
 //! * [`core`] — ESTEEM itself (Algorithm 1 + interval engine) and the
 //!   multicore system simulator;
 //! * [`par`] — deterministic order-preserving parallel sweeps;
@@ -40,4 +42,5 @@ pub use esteem_energy as energy;
 pub use esteem_harness as harness;
 pub use esteem_mem as mem;
 pub use esteem_par as par;
+pub use esteem_stats as stats;
 pub use esteem_workloads as workloads;

@@ -174,7 +174,8 @@ where
 
     // Size samples so all of them together roughly fill measurement_time.
     let budget_per_sample = cfg.measurement_time.as_nanos() / cfg.sample_size.max(1) as u128;
-    let iters_per_sample = (budget_per_sample / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+    let iters_per_sample =
+        (budget_per_sample / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
 
     let mut total = Duration::ZERO;
     let mut iterations = 0u64;

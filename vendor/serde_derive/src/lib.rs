@@ -228,7 +228,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
              fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
          }}"
     );
-    out.parse().expect("serde_derive: generated Serialize impl must parse")
+    out.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
 }
 
 #[proc_macro_derive(Deserialize)]
@@ -330,5 +331,6 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
              }}\n\
          }}"
     );
-    out.parse().expect("serde_derive: generated Deserialize impl must parse")
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
 }

@@ -218,7 +218,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Seq(items));
                 }
-                _ => return Err(Error::custom(format!("expected , or ] at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected , or ] at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -244,7 +249,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Map(entries));
                 }
-                _ => return Err(Error::custom(format!("expected , or }} at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected , or }} at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
