@@ -381,6 +381,18 @@ impl SetAssocCache {
         &self.valid_per_bank
     }
 
+    /// Valid lines resident in one module — the data at stake when a
+    /// controller shrinks it. Walks the module's sets (a contiguous
+    /// range), so this is for interval-boundary observability, not the
+    /// access path.
+    pub fn module_valid_lines(&self, module: u16) -> u64 {
+        let spm = self.geom.sets_per_module();
+        let first = u32::from(module) * spm;
+        (first..first + spm)
+            .map(|set| u64::from(self.bits[set as usize].valid.count_ones()))
+            .sum()
+    }
+
     /// Invalidates one line (no write-back; the caller is responsible for
     /// any traffic accounting). Returns `(was_valid, was_dirty)`. Used by
     /// the RPD refresh policy, which eagerly invalidates clean blocks
@@ -511,6 +523,25 @@ mod tests {
         assert_eq!(c.line(r2.set, r2.way).last_update, 20);
         assert_eq!(c.stats.hits, 1);
         assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn module_valid_lines_tracks_fills_and_turnoff() {
+        let mut c = small();
+        // 4 modules x 16 sets. Fill 3 lines in module 0, 2 in module 2.
+        for t in 0..3u64 {
+            c.access(blk(&c, 1, 100 + t), false, 0);
+        }
+        c.access(blk(&c, 33, 7), false, 0);
+        c.access(blk(&c, 34, 7), false, 0);
+        assert_eq!(c.module_valid_lines(0), 3);
+        assert_eq!(c.module_valid_lines(1), 0);
+        assert_eq!(c.module_valid_lines(2), 2);
+        let per_module: u64 = (0..4).map(|m| c.module_valid_lines(m)).sum();
+        assert_eq!(per_module, c.valid_lines());
+        // Turn-off invalidates follower lines; set 1 is a follower.
+        c.set_module_active_ways(0, 1, 10);
+        assert!(c.module_valid_lines(0) <= 1);
     }
 
     #[test]

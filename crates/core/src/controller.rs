@@ -20,6 +20,7 @@
 //!   from ESTEEM's dynamic adaptation.
 
 use esteem_cache::SetAssocCache;
+use esteem_trace::{EventKind, TraceEvent, Tracer};
 
 use crate::config::Technique;
 use crate::esteem::EsteemController;
@@ -33,6 +34,9 @@ pub struct IntervalCtx<'a> {
     pub l2: &'a mut SetAssocCache,
     /// Current cycle (the quantum boundary that triggered the interval).
     pub now: u64,
+    /// Trace tap for decision events (a disabled tracer when tracing is
+    /// off; emitting through it is then a single branch).
+    pub tracer: &'a Tracer,
 }
 
 /// Work a controller performed during one interval, which the simulator
@@ -151,11 +155,35 @@ impl CacheController for StaticWaysController {
         let modules = ctx.l2.geometry().modules;
         let mut act = ControllerAction::default();
         for m in 0..modules {
+            let prev = ctx.l2.module_active_ways(m);
+            ctx.tracer.emit(EventKind::Reconfig, || {
+                TraceEvent::ReconfigDecision {
+                    cycle: ctx.now,
+                    module: m,
+                    prev_ways: prev,
+                    want_ways: want,
+                    applied_ways: want,
+                    // The static ablation consults no profile: there are
+                    // no Algorithm 1 inputs to report.
+                    total_hits: 0,
+                    anomalies: 0,
+                    non_lru: false,
+                    deferred: false,
+                    valid_lines: ctx.l2.module_valid_lines(m),
+                }
+            });
             let out = ctx.l2.set_module_active_ways(m, want, ctx.now);
             act.slot_transitions += out.slot_transitions;
             act.writebacks += out.writebacks;
             act.discards += out.discards;
         }
+        ctx.tracer
+            .emit(EventKind::Reconfig, || TraceEvent::ReconfigApply {
+                cycle: ctx.now,
+                slot_transitions: act.slot_transitions,
+                writebacks: act.writebacks,
+                discards: act.discards,
+            });
         self.applied = true;
         self.log.push(IntervalRecord {
             cycle: ctx.now,
@@ -214,9 +242,11 @@ mod tests {
         }
         let mut ctl = StaticWaysController::new(4);
         assert!(ctl.due(1000));
+        let tracer = Tracer::ring(64, esteem_trace::TraceFilter::all());
         let act = ctl.on_interval(IntervalCtx {
             l2: &mut cache,
             now: 1000,
+            tracer: &tracer,
         });
         // 12 ways turned off across 4096 sets (no leaders).
         assert_eq!(act.slot_transitions, 12 * 4096);
@@ -229,6 +259,26 @@ mod tests {
         assert!((ctl.log()[0].active_fraction - 0.25).abs() < 1e-12);
         // One-shot: never due again.
         assert!(!ctl.due(u64::MAX));
+        // One decision per module plus the aggregate apply event.
+        let evs = tracer.drain();
+        assert_eq!(evs.len(), 9);
+        match &evs[0] {
+            esteem_trace::TraceEvent::ReconfigDecision {
+                prev_ways,
+                applied_ways,
+                ..
+            } => {
+                assert_eq!(*prev_ways, 16);
+                assert_eq!(*applied_ways, 4);
+            }
+            other => panic!("unexpected first event {other:?}"),
+        }
+        match evs.last().unwrap() {
+            esteem_trace::TraceEvent::ReconfigApply { writebacks, .. } => {
+                assert_eq!(*writebacks, 12)
+            }
+            other => panic!("unexpected last event {other:?}"),
+        }
     }
 
     #[test]
@@ -238,6 +288,7 @@ mod tests {
         let act = ctl.on_interval(IntervalCtx {
             l2: &mut cache,
             now: 0,
+            tracer: &Tracer::off(),
         });
         // 200 > 16 ways: clamped to the full cache, a no-op reconfig.
         assert_eq!(act, ControllerAction::default());
@@ -260,6 +311,7 @@ mod tests {
         let act = ctl.on_interval(IntervalCtx {
             l2: &mut cache,
             now: p.interval_cycles,
+            tracer: &Tracer::off(),
         });
         // No hits recorded: every module shrinks to A_min.
         assert!(act.slot_transitions > 0);

@@ -1,10 +1,26 @@
 //! ESTEEM's energy-saving algorithm (Algorithm 1) and interval engine.
 
 use esteem_cache::{ReconfigOutcome, SetAssocCache};
+use esteem_trace::{EventKind, TraceEvent, Tracer};
 
 use crate::config::AlgoParams;
 use crate::controller::{CacheController, ControllerAction, IntervalCtx};
 use crate::report::IntervalRecord;
+
+/// One module's Algorithm 1 outcome together with the inputs that
+/// justified it — what a trace consumer needs to audit the decision
+/// without replaying the interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Algo1Decision {
+    /// The chosen way count.
+    pub ways: u8,
+    /// Total ATD hits the decision was computed over.
+    pub total_hits: u64,
+    /// Non-monotone LRU-position inversions above the noise floor.
+    pub anomalies: u64,
+    /// Whether the non-LRU guard limited turn-off.
+    pub non_lru: bool,
+}
 
 /// Decision of Algorithm 1 for one module given its per-LRU-position hit
 /// histogram from the last interval.
@@ -17,6 +33,17 @@ use crate::report::IntervalRecord;
 ///    `alpha * total` sets the way count `max(A_min, i+1)` — or
 ///    `max(A-1, i+1)` for non-LRU modules (at most one way off).
 pub fn algorithm1(hits: &[u64], alpha: f64, a_min: u8, non_lru_guard: bool) -> u8 {
+    algorithm1_explain(hits, alpha, a_min, non_lru_guard).ways
+}
+
+/// [`algorithm1`] with its working: the same decision plus the inputs
+/// behind it (for [`TraceEvent::ReconfigDecision`] records).
+pub fn algorithm1_explain(
+    hits: &[u64],
+    alpha: f64,
+    a_min: u8,
+    non_lru_guard: bool,
+) -> Algo1Decision {
     let a = hits.len();
     assert!((1..=64).contains(&a));
     debug_assert!(alpha > 0.0 && alpha < 1.0);
@@ -37,6 +64,12 @@ pub fn algorithm1(hits: &[u64], alpha: f64, a_min: u8, non_lru_guard: bool) -> u
         }
     }
     let non_lru = non_lru_guard && anomalies >= a / 4;
+    let decision = |ways: u8| Algo1Decision {
+        ways,
+        total_hits: total,
+        anomalies: anomalies as u64,
+        non_lru,
+    };
 
     // Lines 14–26: alpha-coverage way selection.
     let threshold = alpha * total as f64;
@@ -46,15 +79,15 @@ pub fn algorithm1(hits: &[u64], alpha: f64, a_min: u8, non_lru_guard: bool) -> u
         if accumulated as f64 >= threshold {
             let chosen = (i + 1) as u8;
             return if non_lru {
-                chosen.max(a as u8 - 1)
+                decision(chosen.max(a as u8 - 1))
             } else {
-                chosen.max(a_min)
+                decision(chosen.max(a_min))
             };
         }
     }
     // Unreachable for alpha < 1 (the full accumulation equals the total),
     // but stay safe for totals of zero with pathological float rounding.
-    a_min.max(1)
+    decision(a_min.max(1))
 }
 
 /// The interval engine: runs Algorithm 1 over every module once per
@@ -95,6 +128,18 @@ impl EsteemController {
     /// optional `max_step` clamping (extension), mask application, counter
     /// reset, and decision logging.
     pub fn run_interval(&mut self, l2: &mut SetAssocCache, now: u64) -> ControllerAction {
+        self.run_interval_traced(l2, now, &Tracer::off())
+    }
+
+    /// [`Self::run_interval`] with a trace tap: emits one
+    /// [`TraceEvent::ReconfigDecision`] per module (Algorithm 1 inputs
+    /// included) and a closing [`TraceEvent::ReconfigApply`].
+    pub fn run_interval_traced(
+        &mut self,
+        l2: &mut SetAssocCache,
+        now: u64,
+        tracer: &Tracer,
+    ) -> ControllerAction {
         debug_assert!(self.due(now));
         self.next_interval += self.params.interval_cycles;
 
@@ -113,16 +158,17 @@ impl EsteemController {
             } else {
                 &global
             };
-            let mut want = algorithm1(
+            let raw = algorithm1_explain(
                 hits,
                 self.params.alpha,
                 self.params.a_min,
                 self.params.non_lru_guard,
             );
-            want = want.min(l2.geometry().ways);
+            let want = raw.ways.min(l2.geometry().ways);
             let cur = l2.module_active_ways(m);
             let mi = m as usize;
             let mut apply = want;
+            let mut deferred = false;
             if self.params.shrink_confirm && want < cur {
                 // Only shrink after SHRINK_CONFIRM_INTERVALS consecutive
                 // requests, and then only to the least aggressive of them.
@@ -134,6 +180,7 @@ impl EsteemController {
                     self.shrink_floor[mi] = 0;
                 } else {
                     apply = cur;
+                    deferred = true;
                 }
             } else {
                 // Growth (or steady state) resets the streak immediately.
@@ -143,6 +190,18 @@ impl EsteemController {
             if let Some(step) = self.params.max_step {
                 apply = apply.clamp(cur.saturating_sub(step).max(1), cur.saturating_add(step));
             }
+            tracer.emit(EventKind::Reconfig, || TraceEvent::ReconfigDecision {
+                cycle: now,
+                module: m,
+                prev_ways: cur,
+                want_ways: want,
+                applied_ways: apply,
+                total_hits: raw.total_hits,
+                anomalies: raw.anomalies,
+                non_lru: raw.non_lru,
+                deferred,
+                valid_lines: l2.module_valid_lines(m),
+            });
             decisions.push(apply);
         }
 
@@ -151,6 +210,12 @@ impl EsteemController {
             merged.merge(l2.set_module_active_ways(m as u16, want, now));
         }
         l2.atd.reset();
+        tracer.emit(EventKind::Reconfig, || TraceEvent::ReconfigApply {
+            cycle: now,
+            slot_transitions: merged.slot_transitions,
+            writebacks: merged.writebacks,
+            discards: merged.discards,
+        });
 
         self.log.push(IntervalRecord {
             cycle: now,
@@ -180,7 +245,7 @@ impl CacheController for EsteemController {
     }
 
     fn on_interval(&mut self, ctx: IntervalCtx<'_>) -> ControllerAction {
-        self.run_interval(ctx.l2, ctx.now)
+        self.run_interval_traced(ctx.l2, ctx.now, ctx.tracer)
     }
 
     fn log(&self) -> &[IntervalRecord] {
@@ -390,6 +455,65 @@ mod tests {
         assert!(ctl.log[0].active_fraction < 0.35);
         assert!(!ctl.due(10_000_001));
         assert!(ctl.due(20_000_000));
+    }
+
+    #[test]
+    fn explain_reports_algorithm_inputs() {
+        // Paper worked example: the explained decision carries its inputs.
+        let hits = [10816u64, 4645, 2140, 501, 217, 113, 63, 11];
+        let d = algorithm1_explain(&hits, 0.97, 1, true);
+        assert_eq!(d.ways, 4);
+        assert_eq!(d.total_hits, 18506);
+        assert!(!d.non_lru);
+        assert_eq!(d.ways, algorithm1(&hits, 0.97, 1, true));
+        // A loud anti-recency ramp trips the guard and counts inversions.
+        let ramp: Vec<u64> = (1..=8u64).map(|x| x * 100).collect();
+        let d2 = algorithm1_explain(&ramp, 0.99, 3, true);
+        assert!(d2.non_lru);
+        assert_eq!(d2.anomalies, 7);
+    }
+
+    #[test]
+    fn traced_interval_emits_decisions_and_apply() {
+        use esteem_trace::{TraceEvent, TraceFilter, Tracer};
+        let mut cache = l2();
+        let t = Tracer::ring(64, TraceFilter::all());
+        // Damped controller: the first interval's shrink requests are
+        // deferred, and the events must say so.
+        let mut ctl = EsteemController::new(AlgoParams::paper_single_core());
+        ctl.run_interval_traced(&mut cache, 10_000_000, &t);
+        let evs = t.drain();
+        assert_eq!(evs.len(), 9, "8 module decisions + 1 apply");
+        for ev in &evs[..8] {
+            match ev {
+                TraceEvent::ReconfigDecision {
+                    cycle,
+                    prev_ways,
+                    want_ways,
+                    applied_ways,
+                    deferred,
+                    ..
+                } => {
+                    assert_eq!(*cycle, 10_000_000);
+                    assert_eq!(*prev_ways, 16);
+                    assert_eq!(*want_ways, 3, "no hits: raw request is A_min");
+                    assert_eq!(*applied_ways, 16, "shrink confirmation defers");
+                    assert!(*deferred);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        match &evs[8] {
+            TraceEvent::ReconfigApply {
+                slot_transitions, ..
+            } => assert_eq!(*slot_transitions, 0, "deferred shrink moves nothing"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Untraced path is byte-for-byte the same decision sequence.
+        let mut plain_cache = l2();
+        let mut plain = EsteemController::new(AlgoParams::paper_single_core());
+        plain.run_interval(&mut plain_cache, 10_000_000);
+        assert_eq!(plain.log, ctl.log);
     }
 
     #[test]

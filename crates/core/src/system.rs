@@ -8,6 +8,7 @@ use esteem_stats::{
     Counter, IntervalObserver, IntervalSample, StatsReading, StatsRegistry, StatsSource,
     TimeWeighted,
 };
+use esteem_trace::{prof_span, EventKind, TraceEvent, Tracer};
 use esteem_workloads::BenchmarkProfile;
 
 use crate::config::SystemConfig;
@@ -67,6 +68,8 @@ pub struct Simulator {
     bank_refresh_scratch: Vec<u64>,
     /// Warm-up reading and measured-region delta handling.
     registry: StatsRegistry,
+    /// Trace tap (disabled by default; see [`Simulator::with_tracer`]).
+    tracer: Tracer,
     observer: Option<Box<dyn IntervalObserver>>,
     /// Observation cadence in cycles (see type docs).
     obs_period: u64,
@@ -126,6 +129,7 @@ impl Simulator {
             reconfig_discards: Counter::new(),
             bank_refresh_scratch: Vec::new(),
             registry: StatsRegistry::new(),
+            tracer: Tracer::off(),
             observer: None,
             obs_period,
             next_obs: obs_period,
@@ -144,6 +148,15 @@ impl Simulator {
     /// later calls replace earlier ones.
     pub fn with_observer(mut self, observer: Box<dyn IntervalObserver>) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Attaches a trace tap (builder style). The tracer is a cheap clone
+    /// of a shared handle; the caller keeps its own to drain/export after
+    /// the run. Strictly read-only: attaching a tracer must never change
+    /// simulation results (pinned by the golden-report tests).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -235,13 +248,36 @@ impl Simulator {
         self.cores[i].note_progress();
     }
 
+    /// Whether interval samples need to be computed — for an attached
+    /// observer, a tracer recording interval events, or both.
+    fn observing(&self) -> bool {
+        self.observer.is_some() || self.tracer.enabled(EventKind::Interval)
+    }
+
     /// End-of-quantum housekeeping at time `qend`.
     fn quantum_end(&mut self, qend: u64) {
-        self.refresh.advance(&mut self.l2, qend);
+        let refreshed = self.refresh.advance(&mut self.l2, qend);
+        if refreshed.refreshes > 0 || refreshed.invalidations > 0 {
+            self.tracer
+                .emit(EventKind::Refresh, || TraceEvent::RefreshBatch {
+                    cycle: qend,
+                    refreshes: refreshed.refreshes,
+                    invalidations: refreshed.invalidations,
+                    pending: self.refresh.queued_lines(),
+                });
+        }
         if qend >= self.next_window {
+            prof_span!(self.tracer, "refresh.window");
             let mut refr = std::mem::take(&mut self.bank_refresh_scratch);
             self.refresh.drain_bank_refreshes_into(&mut refr);
             self.contention.roll_window(qend, &refr);
+            self.tracer
+                .emit(EventKind::Bank, || TraceEvent::BankWindow {
+                    cycle: qend,
+                    refreshes: refr.iter().sum(),
+                    mean_wait: self.contention.mean_wait(),
+                    utilization: self.contention.mean_utilization(),
+                });
             self.bank_refresh_scratch = refr;
             self.mem.roll_window(qend);
             while self.next_window <= qend {
@@ -249,9 +285,11 @@ impl Simulator {
             }
         }
         if self.controller.due(qend) {
+            prof_span!(self.tracer, "controller.interval");
             let act = self.controller.on_interval(IntervalCtx {
                 l2: &mut self.l2,
                 now: qend,
+                tracer: &self.tracer,
             });
             self.n_l.add(act.slot_transitions);
             self.reconfig_writebacks.add(act.writebacks);
@@ -264,7 +302,7 @@ impl Simulator {
         self.active_slot_integral
             .accumulate(self.l2.active_slots(), self.cfg.quantum_cycles);
         self.clock = qend;
-        if self.observer.is_some() && qend >= self.next_obs {
+        if self.observing() && qend >= self.next_obs {
             self.emit_observation(qend);
             while self.next_obs <= qend {
                 self.next_obs += self.obs_period;
@@ -272,8 +310,8 @@ impl Simulator {
         }
     }
 
-    /// Emits one [`IntervalSample`] covering `(last_obs_cycle, now]`.
-    /// Caller guarantees an observer is attached.
+    /// Emits one [`IntervalSample`] covering `(last_obs_cycle, now]` to
+    /// the observer (if any) and the trace tap (if recording intervals).
     fn emit_observation(&mut self, now: u64) {
         let current = self.sample_stats();
         let d = current.delta_since(&self.last_obs);
@@ -295,16 +333,30 @@ impl Simulator {
             slot_transitions: d.counter("reconfig/slot_transitions"),
             instructions,
         };
-        self.observer
-            .as_mut()
-            .expect("caller checked")
-            .on_interval(&sample);
+        self.tracer
+            .emit(EventKind::Interval, || TraceEvent::Interval {
+                cycle: sample.cycle,
+                span_cycles: sample.span_cycles,
+                active_fraction: sample.active_fraction,
+                l2_hits: sample.l2_hits,
+                l2_misses: sample.l2_misses,
+                refreshes: sample.refreshes,
+                invalidations: sample.invalidations,
+                mem_reads: sample.mem_reads,
+                mem_writes: sample.mem_writes,
+                slot_transitions: sample.slot_transitions,
+                instructions: sample.instructions,
+            });
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_interval(&sample);
+        }
         self.last_obs = current;
         self.last_obs_cycle = now;
     }
 
     /// Runs to completion and produces the report.
     pub fn run(mut self) -> SimReport {
+        prof_span!(self.tracer, "sim.run");
         // In a single-core system the run ends exactly at the instruction
         // target (so technique-independent counters like miss counts are
         // computed over identical instruction streams); in multicore runs
@@ -332,17 +384,15 @@ impl Simulator {
     }
 
     fn finish(mut self) -> SimReport {
-        if self.observer.is_some() {
+        if self.observing() {
             // Close the tail: a final partial sample unless the run ended
             // exactly on an observation boundary.
             if self.clock > self.last_obs_cycle {
                 self.emit_observation(self.clock);
             }
-            self.observer
-                .as_mut()
-                .expect("checked above")
-                .flush()
-                .expect("interval-log write failed");
+            if let Some(obs) = self.observer.as_mut() {
+                obs.flush().expect("interval-log write failed");
+            }
         }
         // Measured region = everything after the warm-up reading.
         let warm = self.registry.warmup_reading();
@@ -600,6 +650,48 @@ mod tests {
             .with_observer(Box::new(SharedSink(shared)))
             .run();
         assert_eq!(plain, observed, "observer must be a read-only tap");
+    }
+
+    #[test]
+    fn tracer_is_read_only_tap_and_captures_events() {
+        use esteem_trace::{EventKind, TraceFilter, Tracer};
+        let p = benchmark_by_name("gamess").unwrap();
+        let plain = Simulator::single(quick(Technique::Esteem(quick_algo()), 1_500_000), &p).run();
+        let tracer = Tracer::ring(1 << 16, TraceFilter::all());
+        let traced = Simulator::single(quick(Technique::Esteem(quick_algo()), 1_500_000), &p)
+            .with_tracer(tracer.clone())
+            .run();
+        assert_eq!(plain, traced, "tracer must be a read-only tap");
+        let evs = tracer.drain();
+        let count = |k: EventKind| evs.iter().filter(|e| e.kind() == k).count();
+        // >= 2 ESTEEM intervals of 500k cycles in 1.5M+ cycles, each
+        // producing 8 module decisions + 1 apply.
+        assert!(count(EventKind::Reconfig) >= 18, "{evs:?}");
+        assert!(count(EventKind::Refresh) > 0);
+        assert!(count(EventKind::Bank) > 0);
+        assert!(count(EventKind::Interval) >= 3);
+        // Cycle stamps are monotone within each kind.
+        for k in [EventKind::Refresh, EventKind::Bank, EventKind::Interval] {
+            let cycles: Vec<u64> = evs
+                .iter()
+                .filter(|e| e.kind() == k)
+                .filter_map(|e| e.cycle())
+                .collect();
+            assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "{k:?} not sorted");
+        }
+    }
+
+    #[test]
+    fn trace_filter_limits_recorded_kinds() {
+        use esteem_trace::{EventKind, TraceFilter, Tracer};
+        let p = benchmark_by_name("gamess").unwrap();
+        let tracer = Tracer::ring(1 << 16, TraceFilter::none().with(EventKind::Reconfig));
+        Simulator::single(quick(Technique::Esteem(quick_algo()), 1_000_000), &p)
+            .with_tracer(tracer.clone())
+            .run();
+        let evs = tracer.drain();
+        assert!(!evs.is_empty());
+        assert!(evs.iter().all(|e| e.kind() == EventKind::Reconfig));
     }
 
     #[test]

@@ -251,6 +251,13 @@ impl RefreshEngine {
         self.bank_window.fill(0);
     }
 
+    /// Lines still queued in the polyphase scheduler (zero for periodic
+    /// policies, which keep no queue). Interval-boundary observability:
+    /// a growing queue is the signature of a refresh storm building up.
+    pub fn queued_lines(&self) -> u64 {
+        self.sched.as_ref().map_or(0, |s| s.queued_entries() as u64)
+    }
+
     /// Lifetime refresh count (`N_R` deltas are taken from this).
     pub fn total_refreshes(&self) -> u64 {
         self.total_refreshes
@@ -461,6 +468,21 @@ mod tests {
         // A full cycle refreshes 4x less often than periodic-valid would.
         let r2 = e.advance(&mut c, 8000);
         assert_eq!(r2.refreshes + r2.invalidations, c.valid_lines());
+    }
+
+    #[test]
+    fn queued_lines_reflects_polyphase_backlog() {
+        let mut c = cache();
+        let mut e = RefreshEngine::new(RefreshPolicy::RPV, ret(1000), &c);
+        assert_eq!(e.queued_lines(), 0);
+        for t in 0..5u64 {
+            let o = c.access(c.geometry().block_of(t + 1, t as u32), false, 0);
+            e.on_access(&o, 0);
+        }
+        assert_eq!(e.queued_lines(), 5);
+        // Periodic policies keep no queue at all.
+        let p = RefreshEngine::new(RefreshPolicy::PeriodicAll, ret(1000), &c);
+        assert_eq!(p.queued_lines(), 0);
     }
 
     #[test]

@@ -74,7 +74,14 @@ pub fn table2_lookup(mb: f64) -> (f64, f64) {
     } else if x >= pts[pts.len() - 1].0 {
         (pts[pts.len() - 2], pts[pts.len() - 1])
     } else {
-        let i = pts.iter().position(|p| p.0 > x).unwrap();
+        // Structurally panic-free: fall back to the last segment if no
+        // point exceeds `x` (unreachable for finite `x`, but comparisons
+        // involving pathological floats must clamp, not unwrap).
+        let i = pts
+            .iter()
+            .position(|p| p.0 > x)
+            .unwrap_or(pts.len() - 1)
+            .max(1);
         (pts[i - 1], pts[i])
     };
     let t = (x - seg.0 .0) / (seg.1 .0 - seg.0 .0);
@@ -106,6 +113,29 @@ mod tests {
         assert!(d > 0.0 && l > 0.0);
         let (d64, l64) = table2_lookup(64.0);
         assert!(d64 > 0.467 && l64 > 1.056);
+    }
+
+    /// Regression: the segment search must clamp, never panic, across
+    /// boundary and extreme capacities (it used to `unwrap()` a
+    /// `position` that pathological floats can fail).
+    #[test]
+    fn lookup_is_total_over_extreme_and_boundary_capacities() {
+        for mb in [
+            f64::MIN_POSITIVE,
+            1e-6,
+            2.0 - 1e-12,
+            2.0 + 1e-12,
+            31.999_999,
+            32.000_001,
+            1e12,
+            f64::MAX,
+        ] {
+            let (d, l) = table2_lookup(mb);
+            assert!(d >= 0.0 && l >= 0.0, "mb={mb}: got ({d}, {l})");
+        }
+        // Values a hair past an exact entry stay continuous with it.
+        let (d, l) = table2_lookup(8.0 + 1e-9);
+        assert!((d - 0.282).abs() < 1e-6 && (l - 0.280).abs() < 1e-6);
     }
 
     #[test]

@@ -7,17 +7,21 @@ use esteem_harness::experiments::{
     breakdown, calib, ecc, fig2, figs, overhead, table1, table2, table3,
 };
 use esteem_harness::{results, Scale};
+use esteem_trace::{export, prof_span, TraceFilter, Tracer};
 
 struct Args {
     scale: Scale,
     threads: usize,
     json_dir: Option<PathBuf>,
+    trace: Option<PathBuf>,
     experiments: Vec<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: esteem-repro [--scale bench|quick|default|paper] [--threads N] [--json DIR] <experiment>...\n\
-     experiments: table1 table2 overhead fig2 fig3 fig4 fig5 fig6 table3 table3-dual calib ecc breakdown:<bench> all"
+    "usage: esteem-repro [--scale bench|quick|default|paper] [--threads N] [--json DIR] [--trace FILE] <experiment>...\n\
+     experiments: table1 table2 overhead fig2 fig3 fig4 fig5 fig6 table3 table3-dual calib ecc breakdown:<bench> all\n\
+     --trace FILE: harness self-trace (run-cache lookups + per-experiment wall-clock spans);\n\
+                   .json -> Chrome trace-event JSON, else JSONL"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -25,6 +29,7 @@ fn parse_args() -> Result<Args, String> {
         scale: Scale::Default,
         threads: esteem_par::default_threads(),
         json_dir: None,
+        trace: None,
         experiments: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -41,6 +46,10 @@ fn parse_args() -> Result<Args, String> {
             "--json" => {
                 let v = it.next().ok_or("--json needs a directory")?;
                 args.json_dir = Some(PathBuf::from(v));
+            }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a file")?;
+                args.trace = Some(PathBuf::from(v));
             }
             "-h" | "--help" => return Err(usage().to_owned()),
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
@@ -72,7 +81,8 @@ fn save_csv(args: &Args, name: &str, csv: String) {
     }
 }
 
-fn run_one(args: &Args, name: &str) -> Result<(), String> {
+fn run_one(args: &Args, tracer: &Tracer, name: &str) -> Result<(), String> {
+    prof_span!(tracer, name);
     let (scale, threads) = (args.scale, args.threads);
     match name {
         "table1" => print!("{}", table1::render()),
@@ -146,7 +156,7 @@ fn run_one(args: &Args, name: &str) -> Result<(), String> {
                 "table3-dual",
             ] {
                 println!();
-                run_one(args, e)?;
+                run_one(args, tracer, e)?;
             }
         }
         other => return Err(format!("unknown experiment {other}\n{}", usage())),
@@ -168,9 +178,19 @@ fn main() -> ExitCode {
         args.scale.instructions(),
         args.threads
     );
+    let tracer = match &args.trace {
+        // The harness self-trace is unbounded in principle but tiny in
+        // practice (one event per cache lookup, one span per experiment);
+        // a generous ring keeps worst-case memory bounded anyway.
+        Some(_) => Tracer::ring(1 << 20, TraceFilter::all()),
+        None => Tracer::off(),
+    };
+    if tracer.is_on() {
+        esteem_harness::runcache::set_tracer(tracer.clone());
+    }
     for e in &args.experiments.clone() {
         let started = std::time::Instant::now();
-        if let Err(msg) = run_one(&args, e) {
+        if let Err(msg) = run_one(&args, &tracer, e) {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
@@ -179,6 +199,15 @@ fn main() -> ExitCode {
             "[{e}] finished in {:.1}s (run cache: {hits} hits, {misses} misses)",
             started.elapsed().as_secs_f64()
         );
+    }
+    if let Some(path) = &args.trace {
+        match export::export_to_path(&tracer, path) {
+            Ok(n) => eprintln!("wrote {n} trace events to {}", path.display()),
+            Err(e) => {
+                eprintln!("writing trace {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -14,6 +14,13 @@
 //!   --seed <n>
 //!   --json                    print the report as JSON
 //!   --interval-log <file>     stream one JSONL record per interval
+//!   --trace <file>            export a trace: .json -> Chrome trace-event
+//!                             JSON (Perfetto/chrome://tracing), any other
+//!                             extension -> compact JSONL for esteem-trace
+//!   --trace-filter <kinds>    comma list of reconfig,refresh,bank,
+//!                             runcache,interval,span (default all)
+//!   --trace-buffer <N>        ring-buffer capacity in events (default 1M;
+//!                             oldest events drop beyond it)
 //!   --record <file.estr> <N>  record N bundles of the workload's stream
 //! ```
 
@@ -23,6 +30,7 @@ use std::process::ExitCode;
 use esteem_core::{AlgoParams, Simulator, SystemConfig, Technique};
 use esteem_edram::RetentionSpec;
 use esteem_stats::JsonlSink;
+use esteem_trace::{export, TraceFilter, Tracer};
 use esteem_workloads::{benchmark_by_name, mixes::mix_by_acronym, trace, AccessStream};
 
 #[derive(Debug)]
@@ -42,6 +50,9 @@ struct Args {
     seed: u64,
     json: bool,
     interval_log: Option<String>,
+    trace: Option<String>,
+    trace_filter: TraceFilter,
+    trace_buffer: usize,
     record: Option<(String, u64)>,
 }
 
@@ -63,6 +74,9 @@ impl Default for Args {
             seed: 1,
             json: false,
             interval_log: None,
+            trace: None,
+            trace_filter: TraceFilter::all(),
+            trace_buffer: 1 << 20,
             record: None,
         }
     }
@@ -132,6 +146,18 @@ fn parse() -> Result<Args, String> {
             }
             "--json" => a.json = true,
             "--interval-log" => a.interval_log = Some(next(&mut it, "--interval-log")?),
+            "--trace" => a.trace = Some(next(&mut it, "--trace")?),
+            "--trace-filter" => {
+                a.trace_filter = TraceFilter::parse(&next(&mut it, "--trace-filter")?)?
+            }
+            "--trace-buffer" => {
+                a.trace_buffer = next(&mut it, "--trace-buffer")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if a.trace_buffer == 0 {
+                    return Err("--trace-buffer must be positive".into());
+                }
+            }
             "--record" => {
                 let path = next(&mut it, "--record")?;
                 let n: u64 = next(&mut it, "--record")?
@@ -238,7 +264,23 @@ fn main() -> ExitCode {
         };
         sim = sim.with_observer(Box::new(JsonlSink::new(BufWriter::new(file))));
     }
+    let tracer = match &args.trace {
+        Some(_) => Tracer::ring(args.trace_buffer, args.trace_filter),
+        None => Tracer::off(),
+    };
+    if tracer.is_on() {
+        sim = sim.with_tracer(tracer.clone());
+    }
     let report = sim.run();
+    if let Some(path) = &args.trace {
+        match export::export_to_path(&tracer, std::path::Path::new(path)) {
+            Ok(n) => eprintln!("wrote {n} trace events to {path}"),
+            Err(e) => {
+                eprintln!("writing trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if args.json {
         println!(
             "{}",

@@ -19,6 +19,7 @@ pub mod results;
 pub mod runcache;
 pub mod scale;
 pub mod tablefmt;
+pub mod traceanalyze;
 
 pub use scale::Scale;
 

@@ -31,6 +31,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use esteem_core::{SimReport, Simulator, SystemConfig, Technique};
+use esteem_trace::{EventKind, TraceEvent, Tracer};
 use esteem_workloads::BenchmarkProfile;
 
 /// Bump when simulator behavior changes (invalidates persisted entries).
@@ -39,9 +40,35 @@ pub const FINGERPRINT_VERSION: u32 = 1;
 static CACHE: OnceLock<Mutex<HashMap<u64, SimReport>>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static TRACER: OnceLock<Tracer> = OnceLock::new();
 
 fn cache() -> &'static Mutex<HashMap<u64, SimReport>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Attaches a process-wide trace tap: every subsequent lookup emits one
+/// [`TraceEvent::RunCache`] event. The cache is process-global state, so
+/// its tap is too; first caller wins (later calls are ignored, matching
+/// `OnceLock` semantics).
+pub fn set_tracer(tracer: Tracer) {
+    let _ = TRACER.set(tracer);
+}
+
+fn trace_lookup(fp: u64, was_hit: bool) {
+    if let Some(t) = TRACER.get() {
+        t.emit(EventKind::RunCache, || TraceEvent::RunCache {
+            fingerprint: fp,
+            hit: was_hit,
+        });
+    }
+}
+
+/// Locks the in-memory cache, recovering from poisoning: the map is
+/// plain data and always consistent, and a panic on another sweep
+/// thread (e.g. a failed assertion in one experiment) must not cascade
+/// into every later lookup panicking too.
+fn lock_cache() -> std::sync::MutexGuard<'static, HashMap<u64, SimReport>> {
+    cache().lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// FNV-1a (64-bit): small, stable across platforms and runs — unlike
@@ -110,19 +137,22 @@ fn store_to_disk(fp: u64, report: &SimReport) {
 /// and the report is stored for subsequent callers.
 pub fn run_cached(cfg: SystemConfig, profiles: &[BenchmarkProfile], label: &str) -> SimReport {
     let fp = fingerprint(&cfg, profiles, label);
-    if let Some(hit) = cache().lock().unwrap().get(&fp) {
+    if let Some(hit) = lock_cache().get(&fp) {
         HITS.fetch_add(1, Ordering::Relaxed);
+        trace_lookup(fp, true);
         return hit.clone();
     }
     if let Some(hit) = load_from_disk(fp) {
         HITS.fetch_add(1, Ordering::Relaxed);
-        cache().lock().unwrap().insert(fp, hit.clone());
+        trace_lookup(fp, true);
+        lock_cache().insert(fp, hit.clone());
         return hit;
     }
     MISSES.fetch_add(1, Ordering::Relaxed);
+    trace_lookup(fp, false);
     let report = Simulator::new(cfg, profiles, label).run();
     store_to_disk(fp, &report);
-    cache().lock().unwrap().insert(fp, report.clone());
+    lock_cache().insert(fp, report.clone());
     report
 }
 
@@ -148,7 +178,7 @@ pub fn stats() -> (u64, u64) {
 /// Drops every in-memory entry (on-disk entries persist) and resets the
 /// hit/miss counters. Tests use this for isolation.
 pub fn clear() {
-    cache().lock().unwrap().clear();
+    lock_cache().clear();
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
 }
@@ -207,6 +237,48 @@ mod tests {
         // Different profile.
         let q = benchmark_by_name("milc").unwrap();
         assert_ne!(base, fingerprint(&cfg, std::slice::from_ref(&q), "gamess"));
+    }
+
+    #[test]
+    fn poisoned_cache_lock_recovers() {
+        // Poison the global cache mutex from a panicking closure, as a
+        // failed assertion on a sweep thread would; every later lookup
+        // must recover the lock instead of cascading the panic.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache().lock().unwrap();
+            panic!("poison the run-cache lock");
+        }));
+        assert!(cache().is_poisoned());
+        let p = profile();
+        let mut cfg = single_core_cfg(Technique::Baseline, Scale::Bench, 50.0);
+        cfg.seed ^= 0xfeed; // unique fingerprint for this test
+        let a = run_cached(cfg.clone(), std::slice::from_ref(&p), "poison-test");
+        let b = run_cached(cfg, std::slice::from_ref(&p), "poison-test");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lookups_emit_trace_events() {
+        use esteem_trace::{TraceFilter, Tracer};
+        let tracer = Tracer::ring(1 << 12, TraceFilter::all());
+        set_tracer(tracer.clone());
+        let p = profile();
+        let mut cfg = single_core_cfg(Technique::Baseline, Scale::Bench, 50.0);
+        cfg.seed ^= 0xbead; // unique fingerprint for this test
+        let fp = fingerprint(&cfg, std::slice::from_ref(&p), "trace-test");
+        run_cached(cfg.clone(), std::slice::from_ref(&p), "trace-test");
+        run_cached(cfg, std::slice::from_ref(&p), "trace-test");
+        // Other tests in this process share the global tap; look only at
+        // this test's fingerprint.
+        let mine: Vec<bool> = tracer
+            .drain()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::RunCache { fingerprint, hit } if fingerprint == fp => Some(hit),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(mine, vec![false, true], "one miss then one hit");
     }
 
     #[test]

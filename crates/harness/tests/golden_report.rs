@@ -66,3 +66,29 @@ fn table3_default_baseline_report_matches_golden() {
         &run(Technique::Baseline),
     );
 }
+
+/// Tracing is a strictly read-only tap: running the same configuration
+/// with a full-filter tracer attached must reproduce the golden report
+/// byte for byte (and therefore the same run-cache fingerprint).
+#[test]
+fn tracing_enabled_report_matches_golden_bytes() {
+    use esteem_trace::{TraceFilter, Tracer};
+
+    let mut algo = default_algo(1);
+    algo.interval_cycles = Scale::Bench.interval_cycles();
+    let p = benchmark_by_name("gamess").unwrap();
+    let tracer = Tracer::ring(1 << 20, TraceFilter::all());
+    let report = Simulator::new(
+        table3_default_cfg(Technique::Esteem(algo)),
+        std::slice::from_ref(&p),
+        "gamess",
+    )
+    .with_tracer(tracer.clone())
+    .run();
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    assert!(!tracer.drain().is_empty(), "tracer captured events");
+    if std::env::var_os("ESTEEM_BLESS").is_some() {
+        return; // the golden is blessed by the untraced test above
+    }
+    check_or_bless("simreport_table3_default_esteem.json", &json);
+}

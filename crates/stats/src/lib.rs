@@ -32,7 +32,7 @@
 pub mod observer;
 pub mod registry;
 
-pub use observer::{IntervalObserver, IntervalSample, JsonlSink};
+pub use observer::{read_interval_log, IntervalObserver, IntervalSample, JsonlSink};
 pub use registry::{Scope, StatValue, StatsReading, StatsRegistry, StatsSource};
 
 /// A monotonically increasing event count.

@@ -1,0 +1,111 @@
+//! Event-kind filtering (`--trace-filter reconfig,refresh`).
+
+use crate::event::EventKind;
+
+/// A set of [`EventKind`]s a tracer records. The check is one AND on a
+/// byte, so filtering adds nothing measurable to the emit path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceFilter(u8);
+
+impl Default for TraceFilter {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+impl TraceFilter {
+    pub const fn none() -> Self {
+        TraceFilter(0)
+    }
+
+    pub fn all() -> Self {
+        let mut f = TraceFilter(0);
+        for k in EventKind::ALL {
+            f = f.with(k);
+        }
+        f
+    }
+
+    #[must_use]
+    pub fn with(self, kind: EventKind) -> Self {
+        TraceFilter(self.0 | kind.bit())
+    }
+
+    #[must_use]
+    pub fn without(self, kind: EventKind) -> Self {
+        TraceFilter(self.0 & !kind.bit())
+    }
+
+    #[inline]
+    pub fn allows(self, kind: EventKind) -> bool {
+        self.0 & kind.bit() != 0
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Parses a comma-separated kind list (`"reconfig,refresh"`), or the
+    /// specials `"all"` / `"none"`. Unknown names are an error naming the
+    /// offender, so a typo'd CLI flag fails loudly instead of silently
+    /// recording nothing.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec.trim() {
+            "all" | "" => return Ok(Self::all()),
+            "none" => return Ok(Self::none()),
+            _ => {}
+        }
+        let mut f = TraceFilter::none();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match EventKind::parse(part) {
+                Some(k) => f = f.with(k),
+                None => {
+                    return Err(format!(
+                        "unknown trace event kind '{part}' (expected one of: {}, all, none)",
+                        EventKind::ALL.map(|k| k.name()).join(", ")
+                    ))
+                }
+            }
+        }
+        Ok(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_allows_everything_none_nothing() {
+        for k in EventKind::ALL {
+            assert!(TraceFilter::all().allows(k));
+            assert!(!TraceFilter::none().allows(k));
+        }
+    }
+
+    #[test]
+    fn with_without() {
+        let f = TraceFilter::none()
+            .with(EventKind::Reconfig)
+            .with(EventKind::Span);
+        assert!(f.allows(EventKind::Reconfig));
+        assert!(f.allows(EventKind::Span));
+        assert!(!f.allows(EventKind::Refresh));
+        assert!(!f.without(EventKind::Span).allows(EventKind::Span));
+    }
+
+    #[test]
+    fn parse_lists_and_specials() {
+        assert_eq!(TraceFilter::parse("all").unwrap(), TraceFilter::all());
+        assert_eq!(TraceFilter::parse("none").unwrap(), TraceFilter::none());
+        let f = TraceFilter::parse("reconfig, refresh").unwrap();
+        assert!(f.allows(EventKind::Reconfig));
+        assert!(f.allows(EventKind::Refresh));
+        assert!(!f.allows(EventKind::Bank));
+        assert!(TraceFilter::parse("bogus").unwrap_err().contains("bogus"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Span-based wall-clock self-profiling.
+//!
+//! [`prof_span!`](crate::prof_span) opens a span that records a
+//! [`TraceEvent::Span`] when
+//! it leaves scope. Two gates keep instrumented hot paths honest:
+//!
+//! * **Compile time** — without the crate's `self-profile` feature the
+//!   guard is a unit struct and every site compiles to nothing.
+//! * **Run time** — with the feature on (the default), a site costs one
+//!   branch when the tracer is off or span events are filtered out; the
+//!   two `Instant::now()` calls only happen when the span will actually
+//!   be recorded.
+//!
+//! Spans measure *wall* time and therefore never feed back into the
+//! (deterministic, cycle-accurate) simulation — they exist to show where
+//! the simulator itself spends real seconds.
+
+#[cfg(feature = "self-profile")]
+use crate::event::{EventKind, TraceEvent};
+use crate::Tracer;
+
+/// RAII guard recording one wall-clock span on drop.
+#[must_use = "a span guard measures until it is dropped"]
+pub struct SpanGuard {
+    #[cfg(feature = "self-profile")]
+    active: Option<(Tracer, String, f64)>,
+}
+
+pub(crate) fn span(tracer: &Tracer, name: &str) -> SpanGuard {
+    #[cfg(feature = "self-profile")]
+    {
+        if tracer.enabled(EventKind::Span) {
+            let start_us = tracer.elapsed_us();
+            return SpanGuard {
+                active: Some((tracer.clone(), name.to_owned(), start_us)),
+            };
+        }
+        SpanGuard { active: None }
+    }
+    #[cfg(not(feature = "self-profile"))]
+    {
+        let _ = (tracer, name);
+        SpanGuard {}
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "self-profile")]
+        if let Some((tracer, name, start_us)) = self.active.take() {
+            let dur_us = (tracer.elapsed_us() - start_us).max(0.0);
+            tracer.emit(EventKind::Span, || TraceEvent::Span {
+                name,
+                start_us,
+                dur_us,
+            });
+        }
+    }
+}
+
+/// Opens a named wall-clock span covering the rest of the enclosing
+/// scope: `prof_span!(tracer, "sim.run");`.
+#[macro_export]
+macro_rules! prof_span {
+    ($tracer:expr, $name:expr) => {
+        let _prof_span_guard = $tracer.span($name);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, TraceEvent};
+    use crate::TraceFilter;
+
+    #[test]
+    fn span_records_on_drop() {
+        let t = Tracer::ring(16, TraceFilter::all());
+        {
+            prof_span!(t, "outer");
+            {
+                prof_span!(t, "inner");
+            }
+        }
+        let evs = t.drain();
+        if cfg!(feature = "self-profile") {
+            assert_eq!(evs.len(), 2);
+            // Inner drops first.
+            let names: Vec<&str> = evs
+                .iter()
+                .map(|e| match e {
+                    TraceEvent::Span { name, .. } => name.as_str(),
+                    other => panic!("unexpected {other:?}"),
+                })
+                .collect();
+            assert_eq!(names, vec!["inner", "outer"]);
+            for e in &evs {
+                if let TraceEvent::Span {
+                    start_us, dur_us, ..
+                } = e
+                {
+                    assert!(*start_us >= 0.0 && *dur_us >= 0.0);
+                }
+            }
+        } else {
+            assert!(evs.is_empty());
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_spans_are_noops() {
+        let t = Tracer::off();
+        {
+            prof_span!(t, "nothing");
+        }
+        assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn span_filter_suppresses_spans() {
+        let t = Tracer::ring(16, TraceFilter::none().with(EventKind::Reconfig));
+        {
+            prof_span!(t, "filtered");
+        }
+        assert!(t.drain().is_empty());
+    }
+}
