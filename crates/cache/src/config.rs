@@ -35,11 +35,29 @@ impl CacheGeometry {
         banks: u8,
         modules: u16,
     ) -> Self {
+        match Self::try_from_capacity(capacity_bytes, ways, line_bytes, banks, modules) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking form of [`Self::from_capacity`].
+    pub fn try_from_capacity(
+        capacity_bytes: u64,
+        ways: u8,
+        line_bytes: u32,
+        banks: u8,
+        modules: u16,
+    ) -> Result<Self, String> {
         let line_capacity = u64::from(ways as u32) * u64::from(line_bytes);
-        assert!(
-            capacity_bytes.is_multiple_of(line_capacity),
-            "capacity {capacity_bytes} not a multiple of ways*line"
-        );
+        if line_capacity == 0 {
+            return Err("ways and line size must be nonzero".into());
+        }
+        if !capacity_bytes.is_multiple_of(line_capacity) {
+            return Err(format!(
+                "capacity {capacity_bytes} not a multiple of ways*line"
+            ));
+        }
         let sets = (capacity_bytes / line_capacity) as u32;
         let g = Self {
             sets,
@@ -49,8 +67,8 @@ impl CacheGeometry {
             modules,
             tag_bits: 40,
         };
-        g.validate();
-        g
+        g.check()?;
+        Ok(g)
     }
 
     /// Checks the structural invariants; panics with a descriptive message
@@ -58,21 +76,40 @@ impl CacheGeometry {
     ///
     /// [`SetAssocCache::new`]: crate::SetAssocCache::new
     pub fn validate(&self) {
-        assert!(self.sets.is_power_of_two(), "sets must be a power of two");
-        assert!((1..=64).contains(&self.ways), "ways must be in 1..=64");
-        assert!(self.modules >= 1, "modules must be >= 1");
-        assert!(
-            self.sets.is_multiple_of(u32::from(self.modules)),
-            "modules ({}) must divide sets ({})",
-            self.modules,
-            self.sets
-        );
-        assert!(self.banks >= 1, "banks must be >= 1");
-        assert!(
-            self.sets.is_multiple_of(u32::from(self.banks)),
-            "banks must divide sets"
-        );
-        assert!(self.line_bytes.is_power_of_two(), "line size power of two");
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+
+    /// Non-panicking form of [`Self::validate`]: returns a one-line
+    /// description of the first violated invariant. CLI front ends and
+    /// the job server use this to reject bad configurations gracefully.
+    pub fn check(&self) -> Result<(), String> {
+        if !self.sets.is_power_of_two() {
+            return Err("sets must be a power of two".into());
+        }
+        if !(1..=64).contains(&self.ways) {
+            return Err("ways must be in 1..=64".into());
+        }
+        if self.modules < 1 {
+            return Err("modules must be >= 1".into());
+        }
+        if !self.sets.is_multiple_of(u32::from(self.modules)) {
+            return Err(format!(
+                "modules ({}) must divide sets ({})",
+                self.modules, self.sets
+            ));
+        }
+        if self.banks < 1 {
+            return Err("banks must be >= 1".into());
+        }
+        if !self.sets.is_multiple_of(u32::from(self.banks)) {
+            return Err("banks must divide sets".into());
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err("line size power of two".into());
+        }
+        Ok(())
     }
 
     /// Total capacity in bytes.

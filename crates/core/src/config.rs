@@ -60,17 +60,31 @@ impl AlgoParams {
     }
 
     pub fn validate(&self, ways: u8) {
-        assert!(self.alpha > 0.0 && self.alpha < 1.0, "alpha in (0,1)");
-        assert!(
-            (1..=ways).contains(&self.a_min),
-            "A_min must be in 1..=A (got {})",
-            self.a_min
-        );
-        assert!(self.interval_cycles > 0);
-        assert!(self.rs >= 1);
-        if let Some(s) = self.max_step {
-            assert!(s >= 1, "max_step must allow some movement");
+        if let Err(e) = self.check(ways) {
+            panic!("{e}");
         }
+    }
+
+    /// Non-panicking form of [`Self::validate`].
+    pub fn check(&self, ways: u8) -> Result<(), String> {
+        if self.alpha.is_nan() || self.alpha <= 0.0 || self.alpha >= 1.0 {
+            return Err("alpha in (0,1)".into());
+        }
+        if !(1..=ways).contains(&self.a_min) {
+            return Err(format!("A_min must be in 1..=A (got {})", self.a_min));
+        }
+        if self.interval_cycles == 0 {
+            return Err("interval_cycles must be positive".into());
+        }
+        if self.rs < 1 {
+            return Err("R_s must be >= 1".into());
+        }
+        if let Some(s) = self.max_step {
+            if s < 1 {
+                return Err("max_step must allow some movement".into());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -233,24 +247,57 @@ impl SystemConfig {
     }
 
     pub fn validate(&self) {
-        assert!(self.cores >= 1);
-        assert!(self.sim_instructions > 0);
-        assert!(self.bank_burst_lines >= 1.0);
-        assert!(self.quantum_cycles > 0);
-        assert!(self.overlap_cycles >= 0.0);
-        self.l2_geometry().validate();
-        self.l1_geometry().validate();
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+
+    /// Non-panicking form of [`Self::validate`]: returns a one-line
+    /// description of the first violated invariant instead of panicking,
+    /// so front ends (CLI flag parsing, the `esteem-serve` job API) can
+    /// reject a bad configuration without a backtrace.
+    pub fn check(&self) -> Result<(), String> {
+        if self.cores < 1 {
+            return Err("cores must be >= 1".into());
+        }
+        if self.sim_instructions == 0 {
+            return Err("sim_instructions must be positive".into());
+        }
+        if self.bank_burst_lines.is_nan() || self.bank_burst_lines < 1.0 {
+            return Err("bank_burst_lines must be >= 1".into());
+        }
+        if self.quantum_cycles == 0 {
+            return Err("quantum_cycles must be positive".into());
+        }
+        if self.overlap_cycles.is_nan() || self.overlap_cycles < 0.0 {
+            return Err("overlap_cycles must be >= 0".into());
+        }
+        // Geometries are rebuilt through the fallible constructor: the
+        // convenience accessors panic on impossible shapes (e.g. a module
+        // count that does not divide the sets) before `check` could report.
+        let modules = self.technique.algo_params().map(|p| p.modules).unwrap_or(1);
+        let g = CacheGeometry::try_from_capacity(
+            self.l2_capacity,
+            self.l2_ways,
+            64,
+            self.l2_banks,
+            modules,
+        )
+        .map_err(|e| format!("L2: {e}"))?;
+        CacheGeometry::try_from_capacity(self.l1_capacity, self.l1_ways, 64, 1, 1)
+            .map_err(|e| format!("L1: {e}"))?;
         if let Some(p) = self.technique.algo_params() {
-            p.validate(self.l2_ways);
-            let g = self.l2_geometry();
-            assert!(u32::from(p.modules) <= g.sets, "more modules than sets");
+            p.check(self.l2_ways)?;
+            if u32::from(p.modules) > g.sets {
+                return Err("more modules than sets".into());
+            }
         }
         if let Technique::StaticWays { ways } = self.technique {
-            assert!(
-                (1..=self.l2_ways).contains(&ways),
-                "static way count must be in 1..=A (got {ways})"
-            );
+            if !(1..=self.l2_ways).contains(&ways) {
+                return Err(format!("static way count must be in 1..=A (got {ways})"));
+            }
         }
+        Ok(())
     }
 }
 

@@ -11,11 +11,22 @@ pub struct RetentionSpec {
 impl RetentionSpec {
     /// From a period in microseconds and a clock in GHz.
     pub fn from_micros(micros: f64, clock_ghz: f64) -> Self {
-        let cycles = (micros * clock_ghz * 1000.0).round();
-        assert!(cycles >= 1.0, "retention must be at least one cycle");
-        Self {
-            period_cycles: cycles as u64,
+        match Self::try_from_micros(micros, clock_ghz) {
+            Ok(spec) => spec,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Non-panicking form of [`Self::from_micros`]: rejects periods that
+    /// round below one cycle (zero, negative, or NaN inputs).
+    pub fn try_from_micros(micros: f64, clock_ghz: f64) -> Result<Self, String> {
+        let cycles = (micros * clock_ghz * 1000.0).round();
+        if cycles.is_nan() || cycles < 1.0 {
+            return Err("retention must be at least one cycle".into());
+        }
+        Ok(Self {
+            period_cycles: cycles as u64,
+        })
     }
 
     /// The paper's default: 50 us at 2 GHz.

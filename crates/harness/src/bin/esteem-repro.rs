@@ -42,6 +42,9 @@ fn parse_args() -> Result<Args, String> {
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
                 args.threads = v.parse().map_err(|_| format!("bad thread count {v}"))?;
+                if args.threads == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
             }
             "--json" => {
                 let v = it.next().ok_or("--json needs a directory")?;

@@ -249,9 +249,21 @@ fn main() -> ExitCode {
     } else {
         SystemConfig::paper_dual_core(technique)
     };
-    cfg.retention = RetentionSpec::from_micros(args.retention_us, 2.0);
+    cfg.retention = match RetentionSpec::try_from_micros(args.retention_us, 2.0) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("--retention {}: {e}", args.retention_us);
+            return ExitCode::FAILURE;
+        }
+    };
     cfg.sim_instructions = args.instructions;
     cfg.seed = args.seed;
+    // Reject impossible configurations with a one-line error instead of
+    // letting a validation assert unwind with a backtrace.
+    if let Err(e) = cfg.check() {
+        eprintln!("invalid configuration: {e}");
+        return ExitCode::FAILURE;
+    }
 
     let mut sim = Simulator::new(cfg, &profiles, &label);
     if let Some(path) = &args.interval_log {

@@ -24,6 +24,12 @@
 //! fingerprint embeds [`FINGERPRINT_VERSION`]; bump it whenever the
 //! simulator's observable behavior changes so stale on-disk entries
 //! can never be revived.
+//!
+//! The disk cache is bounded: `ESTEEM_RUN_CACHE_MAX_BYTES` (plain bytes
+//! or with a `K`/`M`/`G` suffix) caps the total size of `run-*.json`
+//! entries; after every store the oldest entries (by modification time)
+//! are evicted until the directory fits. Unset means unbounded, matching
+//! the previous behavior. Evictions are counted in [`cache_stats`].
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -40,6 +46,7 @@ pub const FINGERPRINT_VERSION: u32 = 1;
 static CACHE: OnceLock<Mutex<HashMap<u64, SimReport>>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static DISK_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 static TRACER: OnceLock<Tracer> = OnceLock::new();
 
 fn cache() -> &'static Mutex<HashMap<u64, SimReport>> {
@@ -116,6 +123,72 @@ fn load_from_disk(fp: u64) -> Option<SimReport> {
     serde_json::from_str(&body).ok()
 }
 
+/// Parses `ESTEEM_RUN_CACHE_MAX_BYTES`-style sizes: plain bytes or a
+/// `K`/`M`/`G` suffix (binary multiples).
+pub fn parse_size(s: &str) -> Option<u64> {
+    let t = s.trim();
+    let (digits, shift) = match t.as_bytes().last()? {
+        b'k' | b'K' => (&t[..t.len() - 1], 10),
+        b'm' | b'M' => (&t[..t.len() - 1], 20),
+        b'g' | b'G' => (&t[..t.len() - 1], 30),
+        _ => (t, 0),
+    };
+    digits
+        .trim()
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_shl(shift))
+}
+
+fn disk_max_bytes() -> Option<u64> {
+    static MAX: OnceLock<Option<u64>> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        std::env::var("ESTEEM_RUN_CACHE_MAX_BYTES")
+            .ok()
+            .and_then(|v| parse_size(&v))
+    })
+}
+
+/// Evicts oldest-first (by modification time) until the total size of
+/// `run-*.json` entries in `dir` is at most `max_bytes`. Returns the
+/// number of entries removed. Concurrent writers make the scan racy in
+/// principle; a doomed entry that disappears first is simply skipped.
+pub fn enforce_disk_cap(dir: &std::path::Path, max_bytes: u64) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut files: Vec<(std::time::SystemTime, u64, PathBuf)> = entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            if !(name.starts_with("run-") && name.ends_with(".json")) {
+                return None;
+            }
+            let meta = e.metadata().ok()?;
+            let mtime = meta.modified().ok()?;
+            Some((mtime, meta.len(), e.path()))
+        })
+        .collect();
+    let mut total: u64 = files.iter().map(|(_, len, _)| len).sum();
+    if total <= max_bytes {
+        return 0;
+    }
+    files.sort_by_key(|(mtime, _, _)| *mtime);
+    let mut evicted = 0;
+    for (_, len, path) in files {
+        if total <= max_bytes {
+            break;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            total = total.saturating_sub(len);
+            evicted += 1;
+        }
+    }
+    DISK_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+    evicted
+}
+
 fn store_to_disk(fp: u64, report: &SimReport) {
     let Some(dir) = disk_dir() else { return };
     if std::fs::create_dir_all(&dir).is_err() {
@@ -128,6 +201,39 @@ fn store_to_disk(fp: u64, report: &SimReport) {
             let _ = std::fs::rename(&tmp, disk_path(&dir, fp));
         }
     }
+    if let Some(max) = disk_max_bytes() {
+        enforce_disk_cap(&dir, max);
+    }
+}
+
+/// Cache lookup by fingerprint (memory first, then disk), counting and
+/// tracing the outcome. A hit loaded from disk is promoted into memory.
+///
+/// This is the dedupe primitive of the `esteem-serve` job server: it
+/// lets a caller that needs to *observe* a simulation (interval streams,
+/// tracing) still short-circuit on a cached result, then publish its own
+/// report with [`insert`].
+pub fn lookup(fp: u64) -> Option<SimReport> {
+    if let Some(hit) = lock_cache().get(&fp) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        trace_lookup(fp, true);
+        return Some(hit.clone());
+    }
+    if let Some(hit) = load_from_disk(fp) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        trace_lookup(fp, true);
+        lock_cache().insert(fp, hit.clone());
+        return Some(hit);
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    trace_lookup(fp, false);
+    None
+}
+
+/// Publishes a computed report under `fp` (memory + optional disk).
+pub fn insert(fp: u64, report: &SimReport) {
+    store_to_disk(fp, report);
+    lock_cache().insert(fp, report.clone());
 }
 
 /// Runs the simulation described by `(cfg, profiles, label)`, memoized.
@@ -137,22 +243,11 @@ fn store_to_disk(fp: u64, report: &SimReport) {
 /// and the report is stored for subsequent callers.
 pub fn run_cached(cfg: SystemConfig, profiles: &[BenchmarkProfile], label: &str) -> SimReport {
     let fp = fingerprint(&cfg, profiles, label);
-    if let Some(hit) = lock_cache().get(&fp) {
-        HITS.fetch_add(1, Ordering::Relaxed);
-        trace_lookup(fp, true);
-        return hit.clone();
-    }
-    if let Some(hit) = load_from_disk(fp) {
-        HITS.fetch_add(1, Ordering::Relaxed);
-        trace_lookup(fp, true);
-        lock_cache().insert(fp, hit.clone());
+    if let Some(hit) = lookup(fp) {
         return hit;
     }
-    MISSES.fetch_add(1, Ordering::Relaxed);
-    trace_lookup(fp, false);
     let report = Simulator::new(cfg, profiles, label).run();
-    store_to_disk(fp, &report);
-    lock_cache().insert(fp, report.clone());
+    insert(fp, &report);
     report
 }
 
@@ -173,6 +268,27 @@ pub fn run_comparison_cached(
 /// `(hits, misses)` since process start.
 pub fn stats() -> (u64, u64) {
     (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Full counter snapshot since process start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Disk entries evicted by the `ESTEEM_RUN_CACHE_MAX_BYTES` cap.
+    pub disk_evictions: u64,
+    /// Entries currently resident in memory.
+    pub mem_entries: u64,
+}
+
+/// [`stats`] plus eviction and residency counts (the `/metrics` view).
+pub fn cache_stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        disk_evictions: DISK_EVICTIONS.load(Ordering::Relaxed),
+        mem_entries: lock_cache().len() as u64,
+    }
 }
 
 /// Drops every in-memory entry (on-disk entries persist) and resets the
@@ -279,6 +395,69 @@ mod tests {
             })
             .collect();
         assert_eq!(mine, vec![false, true], "one miss then one hit");
+    }
+
+    #[test]
+    fn parse_size_accepts_suffixes() {
+        assert_eq!(parse_size("1024"), Some(1024));
+        assert_eq!(parse_size("4K"), Some(4 << 10));
+        assert_eq!(parse_size("2m"), Some(2 << 20));
+        assert_eq!(parse_size("1G"), Some(1 << 30));
+        assert_eq!(parse_size(" 8M "), Some(8 << 20));
+        assert_eq!(parse_size("x"), None);
+        assert_eq!(parse_size(""), None);
+        assert_eq!(parse_size("-1"), None);
+    }
+
+    #[test]
+    fn disk_cap_evicts_oldest_first() {
+        let dir = std::env::temp_dir().join(format!("esteem-cap-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Four 100-byte entries with strictly increasing mtimes.
+        for i in 0..4u64 {
+            let p = dir.join(format!("run-{i:016x}.json"));
+            std::fs::write(&p, vec![b'x'; 100]).unwrap();
+            let mtime = std::time::SystemTime::UNIX_EPOCH
+                + std::time::Duration::from_secs(1_000_000 + i * 60);
+            let f = std::fs::File::options().write(true).open(&p).unwrap();
+            f.set_modified(mtime).unwrap();
+        }
+        // Unrelated files are never touched.
+        std::fs::write(dir.join("README.txt"), b"keep me").unwrap();
+        let evicted = enforce_disk_cap(&dir, 250);
+        assert_eq!(evicted, 2, "two entries must go to fit 250 bytes");
+        let mut left: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        left.sort();
+        assert_eq!(
+            left,
+            vec![
+                "README.txt".to_owned(),
+                format!("run-{:016x}.json", 2),
+                format!("run-{:016x}.json", 3),
+            ],
+            "oldest two evicted, newest two and unrelated files kept"
+        );
+        // Under the cap: nothing further happens.
+        assert_eq!(enforce_disk_cap(&dir, 250), 0);
+        assert!(cache_stats().disk_evictions >= 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lookup_insert_roundtrip() {
+        let p = profile();
+        let mut cfg = single_core_cfg(Technique::Baseline, Scale::Bench, 50.0);
+        cfg.seed ^= 0xcafe; // unique fingerprint for this test
+        let fp = fingerprint(&cfg, std::slice::from_ref(&p), "lookup-test");
+        assert_eq!(lookup(fp), None, "cold lookup misses");
+        let report = Simulator::new(cfg, std::slice::from_ref(&p), "lookup-test").run();
+        insert(fp, &report);
+        assert_eq!(lookup(fp), Some(report), "published report is returned");
     }
 
     #[test]

@@ -120,4 +120,97 @@ mod tests {
         q.roll_window(1000);
         assert!((q.last_utilization() - 0.1).abs() < 1e-12);
     }
+
+    #[test]
+    fn empty_queue_charges_nothing() {
+        let mut q = ChannelQueue::new(10.0, 100);
+        assert_eq!(q.current_delay(), 0.0);
+        assert_eq!(q.last_utilization(), 0.0);
+        // Rolling windows with no traffic never invents delay.
+        for w in 1..=5 {
+            q.roll_window(w * 100);
+            assert_eq!(q.current_delay(), 0.0);
+            assert_eq!(q.last_utilization(), 0.0);
+        }
+    }
+
+    #[test]
+    fn delay_lags_by_exactly_one_window() {
+        let mut q = ChannelQueue::new(10.0, 100);
+        // Window 0: heavy traffic, but charged at window 0's (zero) rate.
+        for _ in 0..8 {
+            assert_eq!(q.access(), 0.0);
+        }
+        q.roll_window(100);
+        // Window 1: every access pays window 0's utilization...
+        let d1 = q.access();
+        assert!(d1 > 0.0, "window-1 accesses must see window-0 load");
+        q.roll_window(200);
+        // ...and window 2 pays window 1's (one light access), not
+        // window 0's (eight) — the lag is one window, not cumulative.
+        let d2 = q.access();
+        assert!(d2 < d1);
+    }
+
+    #[test]
+    fn exact_mdd1_delay_at_half_load() {
+        // rho = 0.5 exactly: delay = s * rho / (2 (1 - rho)) = s / 2.
+        let mut q = ChannelQueue::new(10.0, 1000);
+        for _ in 0..50 {
+            q.access();
+        }
+        q.roll_window(1000);
+        assert!((q.last_utilization() - 0.5).abs() < 1e-12);
+        assert!((q.current_delay() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_is_inclusive_and_roll_is_idempotent() {
+        let mut q = ChannelQueue::new(10.0, 100);
+        for _ in 0..10 {
+            q.access();
+        }
+        // One cycle short of the boundary: the window stays open.
+        q.roll_window(99);
+        assert_eq!(q.current_delay(), 0.0);
+        // Exactly on the boundary: it closes.
+        q.roll_window(100);
+        let d = q.current_delay();
+        assert!(d > 0.0);
+        // Re-rolling at the same `now` must not close another (empty)
+        // window and wipe the charged delay.
+        q.roll_window(100);
+        assert_eq!(q.current_delay(), d);
+    }
+
+    #[test]
+    fn overload_delay_is_bounded_by_the_cap() {
+        // At the 0.98 utilization cap the worst-case delay is
+        // s * 0.98 / (2 * 0.02) = 24.5 * s, no matter the burst size.
+        let bound = 10.0 * 24.5 + 1e-9;
+        for burst in [200, 2_000, 2_000_000] {
+            let mut q = ChannelQueue::new(10.0, 100);
+            for _ in 0..burst {
+                q.access();
+            }
+            q.roll_window(100);
+            assert!(q.current_delay() <= bound);
+            assert!(q.current_delay() > 10.0, "overload must hurt");
+        }
+    }
+
+    #[test]
+    fn long_idle_gap_clears_stale_load() {
+        let mut q = ChannelQueue::new(10.0, 100);
+        for _ in 0..90 {
+            q.access();
+        }
+        q.roll_window(100);
+        assert!(q.current_delay() > 0.0);
+        // A long idle stretch (many windows, zero accesses) must reset
+        // the charged delay, however large `now` jumps.
+        q.roll_window(1_000_000);
+        assert_eq!(q.current_delay(), 0.0);
+        assert_eq!(q.last_utilization(), 0.0);
+    }
 }

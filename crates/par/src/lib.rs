@@ -19,9 +19,14 @@
 
 mod pool;
 mod progress;
+mod worker;
 
-pub use pool::{parallel_map, parallel_map_with, ParConfig};
+pub use pool::{
+    panic_message, parallel_map, parallel_map_with, try_parallel_map, try_parallel_map_with,
+    JobPanic, ParConfig,
+};
 pub use progress::Progress;
+pub use worker::{SubmitError, WorkerPool};
 
 use std::num::NonZeroUsize;
 

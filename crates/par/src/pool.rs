@@ -1,8 +1,37 @@
 //! Order-preserving dynamic-scheduling parallel map.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::Progress;
+
+/// One job's caught panic: the input index it was processing and the
+/// panic payload rendered as text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    pub index: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Renders a `catch_unwind` payload as text (`panic!` with a string or
+/// `String` payload; anything else gets a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// Configuration for [`parallel_map_with`].
 #[derive(Debug, Clone)]
@@ -33,7 +62,10 @@ impl Default for ParConfig {
 /// durations vary wildly (a `mcf` simulation is far slower than `gamess`).
 ///
 /// # Panics
-/// Propagates the panic of any job to the caller.
+/// Propagates the panic of any job to the caller — but only after every
+/// other job has finished (a panicking simulation no longer aborts the
+/// rest of the sweep mid-flight; use [`try_parallel_map`] to observe
+/// per-item failures without panicking).
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -50,15 +82,54 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let results = try_parallel_map_with(cfg, items, f);
+    results
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(p) => panic!("{p}"),
+        })
+        .collect()
+}
+
+/// Panic-isolating [`parallel_map`]: each job runs under
+/// `catch_unwind`, so one panicking item yields an `Err` slot while
+/// every other item still completes and returns. Output order equals
+/// input order.
+pub fn try_parallel_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, JobPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    try_parallel_map_with(&ParConfig::default(), items, f)
+}
+
+/// [`try_parallel_map`] with explicit configuration.
+pub fn try_parallel_map_with<T, R, F>(
+    cfg: &ParConfig,
+    items: &[T],
+    f: F,
+) -> Vec<Result<R, JobPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let n = items.len();
     let threads = cfg.threads.max(1).min(n.max(1));
     let progress = Progress::new(&cfg.label, n, cfg.progress);
+    let run_one = |i: usize| -> Result<R, JobPanic> {
+        std::panic::catch_unwind(AssertUnwindSafe(|| f(&items[i]))).map_err(|payload| JobPanic {
+            index: i,
+            message: panic_message(payload.as_ref()),
+        })
+    };
 
     if threads <= 1 || n <= 1 {
-        return items
-            .iter()
-            .map(|it| {
-                let r = f(it);
+        return (0..n)
+            .map(|i| {
+                let r = run_one(i);
                 progress.tick();
                 r
             })
@@ -68,7 +139,7 @@ where
     // Pre-allocated result slots; each index is written exactly once, by
     // the worker that claimed it, before the scope joins. `Option` lets us
     // avoid `R: Default` and assert full coverage at the end.
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    let mut slots: Vec<Option<Result<R, JobPanic>>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     let cursor = AtomicUsize::new(0);
 
@@ -80,12 +151,12 @@ where
         unsafe impl<R: Send> Sync for SlotsPtr<R> {}
         let slots_ptr = SlotsPtr(slots.as_mut_ptr());
 
-        // std::thread::scope joins every worker before returning and
-        // re-raises any worker panic in the caller.
+        // std::thread::scope joins every worker before returning; caught
+        // job panics land in their slots instead of unwinding the worker.
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let cursor = &cursor;
-                let f = &f;
+                let run_one = &run_one;
                 let slots_ptr = &slots_ptr;
                 let progress = &progress;
                 scope.spawn(move || loop {
@@ -93,7 +164,7 @@ where
                     if i >= n {
                         break;
                     }
-                    let r = f(&items[i]);
+                    let r = run_one(i);
                     // SAFETY: index `i` was claimed exactly once via the
                     // atomic fetch_add, so no other thread writes slot `i`;
                     // the scope guarantees `slots` outlives all workers.
@@ -178,6 +249,61 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn try_map_isolates_panics_per_item() {
+        // Regression: one panicking closure used to take down the whole
+        // sweep; now it must flag only its own slot.
+        let items: Vec<u32> = (0..64).collect();
+        for threads in [1usize, 4] {
+            let cfg = ParConfig {
+                threads,
+                ..ParConfig::default()
+            };
+            let out = try_parallel_map_with(&cfg, &items, |&x| {
+                if x % 13 == 7 {
+                    panic!("boom at {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i % 13 == 7 {
+                    let p = r.as_ref().expect_err("slot must flag the panic");
+                    assert_eq!(p.index, i);
+                    assert_eq!(p.message, format!("boom at {i}"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), (i as u32) * 2, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_panic_still_completes_other_items() {
+        // The panic propagates, but only after every job ran: the panic
+        // message names the *first* failed index, proving the sweep was
+        // not aborted mid-flight by an unwinding worker.
+        let items: Vec<u32> = (0..32).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&items, |&x| {
+                if x == 3 {
+                    panic!("item three");
+                }
+                x
+            })
+        })
+        .expect_err("must propagate");
+        let msg = panic_message(caught.as_ref());
+        assert!(msg.contains("job 3"), "got: {msg}");
+        assert!(msg.contains("item three"), "got: {msg}");
+    }
+
+    #[test]
+    fn non_string_payload_is_rendered() {
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(42u32)).expect_err("panics");
+        assert_eq!(panic_message(caught.as_ref()), "non-string panic payload");
     }
 
     #[test]

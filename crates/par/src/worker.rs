@@ -1,0 +1,338 @@
+//! Long-lived worker pool with a submit/shutdown lifecycle.
+//!
+//! [`parallel_map`](crate::parallel_map) spins workers up per call —
+//! right for batch sweeps, wrong for a resident service that accepts
+//! jobs over its whole lifetime. [`WorkerPool`] keeps a fixed set of
+//! threads alive and feeds them closures through a bounded queue:
+//!
+//! * **Backpressure** — the queue is bounded; [`WorkerPool::submit`]
+//!   blocks when it is full and [`WorkerPool::try_submit`] refuses, so a
+//!   producer can shed load instead of buffering unboundedly.
+//! * **Panic isolation** — each job runs under `catch_unwind`; a
+//!   panicking job is counted and its worker keeps serving. A service
+//!   must outlive any single bad request.
+//! * **Graceful shutdown** — [`WorkerPool::shutdown`] stops intake,
+//!   drains every queued job, and joins the workers.
+
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity (only from [`WorkerPool::try_submit`]).
+    Full,
+    /// The pool is shutting down and no longer accepts work.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "worker pool queue is full"),
+            SubmitError::Closed => write!(f, "worker pool is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct State {
+    queue: VecDeque<Job>,
+    closed: bool,
+    /// Jobs currently executing on a worker.
+    active: usize,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a job is queued or the pool closes (workers wait).
+    job_ready: Condvar,
+    /// Signalled when a queue slot frees up (blocking submitters wait).
+    slot_free: Condvar,
+    /// Signalled when a job finishes (idle waiters).
+    job_done: Condvar,
+    capacity: usize,
+    panics: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// Fixed-size pool of long-lived workers over a bounded job queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (at least one) behind a queue of
+    /// `capacity` pending jobs (at least one).
+    pub fn new(threads: usize, capacity: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                closed: false,
+                active: 0,
+            }),
+            job_ready: Condvar::new(),
+            slot_free: Condvar::new(),
+            job_done: Condvar::new(),
+            capacity: capacity.max(1),
+            panics: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        });
+        let handles = (0..threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("esteem-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Enqueues a job, blocking while the queue is at capacity.
+    /// Fails only when the pool is closed.
+    pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
+        let mut st = self.lock();
+        loop {
+            if st.closed {
+                return Err(SubmitError::Closed);
+            }
+            if st.queue.len() < self.shared.capacity {
+                st.queue.push_back(job);
+                self.shared.job_ready.notify_one();
+                return Ok(());
+            }
+            st = self
+                .shared
+                .slot_free
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Enqueues a job without blocking; refuses when full or closed.
+    pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
+        let mut st = self.lock();
+        if st.closed {
+            return Err(SubmitError::Closed);
+        }
+        if st.queue.len() >= self.shared.capacity {
+            return Err(SubmitError::Full);
+        }
+        st.queue.push_back(job);
+        self.shared.job_ready.notify_one();
+        Ok(())
+    }
+
+    /// Jobs queued but not yet started.
+    pub fn pending(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Jobs currently executing.
+    pub fn active(&self) -> usize {
+        self.lock().active
+    }
+
+    /// Jobs whose closure panicked (caught; the worker survived).
+    pub fn panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that ran to completion (including panicked ones).
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the queue is empty and no job is executing.
+    pub fn wait_idle(&self) {
+        let mut st = self.lock();
+        while !st.queue.is_empty() || st.active > 0 {
+            st = self
+                .shared
+                .job_done
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops intake, drains every queued job, and joins the workers.
+    pub fn shutdown(mut self) {
+        self.close();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.lock();
+        st.closed = true;
+        drop(st);
+        self.shared.job_ready.notify_all();
+        self.shared.slot_free.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // Workers never panic while holding the lock (jobs run outside
+        // it), but recover from poisoning anyway: the queue is plain data.
+        self.shared.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Dropping without [`Self::shutdown`] still closes intake and joins,
+    /// so no worker thread outlives the pool handle.
+    fn drop(&mut self) {
+        self.close();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    st.active += 1;
+                    shared.slot_free.notify_one();
+                    break job;
+                }
+                if st.closed {
+                    return;
+                }
+                st = shared.job_ready.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.active -= 1;
+        drop(st);
+        shared.job_done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = WorkerPool::new(4, 16);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let c = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }))
+            .unwrap();
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+        assert_eq!(pool.completed(), 32);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_worker() {
+        let pool = WorkerPool::new(1, 8);
+        pool.submit(Box::new(|| panic!("bad job"))).unwrap();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        pool.submit(Box::new(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        }))
+        .unwrap();
+        pool.wait_idle();
+        assert_eq!(pool.panics(), 1);
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "worker survived the panic");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn try_submit_sheds_when_full() {
+        // One worker blocked on a gate; queue of one fills with the next.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let pool = WorkerPool::new(1, 1);
+        let g = Arc::clone(&gate);
+        pool.submit(Box::new(move || {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        }))
+        .unwrap();
+        // Wait until the worker picked up the gated job.
+        while pool.active() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pool.try_submit(Box::new(|| {})).unwrap();
+        assert_eq!(pool.try_submit(Box::new(|| {})), Err(SubmitError::Full));
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        pool.wait_idle();
+        assert_eq!(pool.completed(), 2);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = WorkerPool::new(2, 64);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..40 {
+            let c = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                std::thread::sleep(Duration::from_micros(100));
+                c.fetch_add(1, Ordering::Relaxed);
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 40, "drained before join");
+    }
+
+    #[test]
+    fn submit_after_shutdown_refused() {
+        let pool = WorkerPool::new(1, 4);
+        pool.close();
+        assert_eq!(
+            pool.submit(Box::new(|| {})).unwrap_err(),
+            SubmitError::Closed
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2, 8);
+            for _ in 0..8 {
+                let c = Arc::clone(&counter);
+                pool.submit(Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }))
+                .unwrap();
+            }
+        }
+        // Drop closed intake and joined after draining.
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+}

@@ -1,0 +1,144 @@
+//! Command-line client for the `esteem-serve` daemon.
+//!
+//! ```text
+//! esteem-client <addr> submit [job-options] <benchmark|mix>
+//! esteem-client <addr> poll <job-id>
+//! esteem-client <addr> fetch <job-id>        # waits; prints the report
+//!                                            # JSON exactly as
+//!                                            # `esteem-sim --json` would
+//! esteem-client <addr> events <job-id>       # streams interval JSONL
+//! esteem-client <addr> metrics
+//! esteem-client <addr> shutdown
+//!
+//! job-options mirror esteem-sim flags:
+//!   --technique t --retention us --instructions n --alpha f --a-min n
+//!   --modules m --interval cycles --rs n --ecc-periods k --ecc-bits b
+//!   --ways n --seed n --priority p --client name
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use esteem_serve::client;
+use esteem_serve::JobSpec;
+
+const HELP: &str = "usage: esteem-client <addr> <submit|poll|fetch|events|metrics|shutdown> ...";
+
+fn next(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_spec(args: &[String]) -> Result<JobSpec, String> {
+    let mut spec = JobSpec::default();
+    let mut it = args.iter();
+    macro_rules! parse_into {
+        ($slot:expr, $it:expr, $flag:expr) => {
+            $slot = next($it, $flag)?
+                .parse()
+                .map_err(|e| format!("{}: {e}", $flag))?
+        };
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--technique" => spec.technique = next(&mut it, "--technique")?,
+            "--retention" => parse_into!(spec.retention_us, &mut it, "--retention"),
+            "--instructions" => parse_into!(spec.instructions, &mut it, "--instructions"),
+            "--alpha" => parse_into!(spec.alpha, &mut it, "--alpha"),
+            "--a-min" => parse_into!(spec.a_min, &mut it, "--a-min"),
+            "--modules" => {
+                let m = next(&mut it, "--modules")?
+                    .parse()
+                    .map_err(|e| format!("--modules: {e}"))?;
+                spec.modules = Some(m);
+            }
+            "--interval" => parse_into!(spec.interval, &mut it, "--interval"),
+            "--rs" => parse_into!(spec.rs, &mut it, "--rs"),
+            "--ecc-periods" => parse_into!(spec.ecc_periods, &mut it, "--ecc-periods"),
+            "--ecc-bits" => parse_into!(spec.ecc_bits, &mut it, "--ecc-bits"),
+            "--ways" => parse_into!(spec.ways, &mut it, "--ways"),
+            "--seed" => parse_into!(spec.seed, &mut it, "--seed"),
+            "--priority" => parse_into!(spec.priority, &mut it, "--priority"),
+            "--client" => spec.client = next(&mut it, "--client")?,
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => spec.workload = other.to_owned(),
+        }
+    }
+    if spec.workload.is_empty() {
+        return Err("submit needs a workload (benchmark name or mix acronym)".into());
+    }
+    Ok(spec)
+}
+
+fn job_id(args: &[String]) -> Result<u64, String> {
+    args.first()
+        .ok_or("missing job id")?
+        .parse()
+        .map_err(|e| format!("job id: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") || args.len() < 2 {
+        return Err(HELP.into());
+    }
+    let addr = &args[0];
+    let cmd = args[1].as_str();
+    let rest = &args[2..];
+    match cmd {
+        "submit" => {
+            let spec = parse_spec(rest)?;
+            let resp = client::submit(addr, &spec)?;
+            let mut note = String::new();
+            if resp.coalesced {
+                note.push_str(" (coalesced onto an identical in-flight job)");
+            }
+            if resp.cached {
+                note.push_str(" (served from the run cache)");
+            }
+            println!("job {}{note}", resp.job);
+            Ok(())
+        }
+        "poll" => {
+            let (state, _) = client::poll(addr, job_id(rest)?)?;
+            println!("{state}");
+            Ok(())
+        }
+        "fetch" => {
+            let result = client::fetch(addr, job_id(rest)?, Duration::from_millis(50))?;
+            // Byte-identical to `esteem-sim --json`: both pretty-print
+            // the same report value.
+            let pretty =
+                serde_json::to_string_pretty(&result).map_err(|e| format!("encoding: {e}"))?;
+            println!("{pretty}");
+            Ok(())
+        }
+        "events" => {
+            let status =
+                client::stream_lines(addr, &format!("/v1/jobs/{}/events", job_id(rest)?), |l| {
+                    println!("{l}");
+                })?;
+            if status != 200 {
+                return Err(format!("events failed ({status})"));
+            }
+            Ok(())
+        }
+        "metrics" => {
+            print!("{}", client::metrics(addr)?);
+            Ok(())
+        }
+        "shutdown" => client::shutdown(addr),
+        other => Err(format!("unknown command '{other}'\n{HELP}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The job-server daemon.
+//!
+//! ```text
+//! esteem-serve [options]
+//!   --addr <host:port>      bind address (default 127.0.0.1:7117;
+//!                           port 0 picks an ephemeral port, printed
+//!                           on stdout as "listening on <addr>")
+//!   --workers <n>           resident simulation workers (default 2)
+//!   --queue-capacity <n>    bound before 429 shed (default 64)
+//!   --journal <file>        append-only job journal; enables crash
+//!                           recovery on restart
+//! ```
+//!
+//! The daemon exits after `POST /v1/shutdown`: the queue closes, every
+//! accepted job runs to completion, workers join, and the listener
+//! stops.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use esteem_serve::ServerOptions;
+
+const HELP: &str =
+    "usage: esteem-serve [--addr host:port] [--workers n] [--queue-capacity n] [--journal file]";
+
+fn parse() -> Result<ServerOptions, String> {
+    let mut opts = ServerOptions {
+        addr: "127.0.0.1:7117".into(),
+        ..ServerOptions::default()
+    };
+    let mut it = std::env::args().skip(1);
+    let next = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = next(&mut it, "--addr")?,
+            "--workers" => {
+                opts.workers = next(&mut it, "--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if opts.workers == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+            }
+            "--queue-capacity" => {
+                opts.queue_capacity = next(&mut it, "--queue-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--queue-capacity: {e}"))?;
+                if opts.queue_capacity == 0 {
+                    return Err("--queue-capacity must be >= 1".into());
+                }
+            }
+            "--journal" => opts.journal_path = Some(next(&mut it, "--journal")?.into()),
+            "-h" | "--help" => return Err(HELP.into()),
+            other => return Err(format!("unknown flag {other}\n{HELP}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let daemon = match esteem_serve::spawn(opts) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("starting daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scripts (and the smoke test) parse this line for the ephemeral
+    // port, so flush it before blocking.
+    println!("listening on {}", daemon.addr());
+    let _ = std::io::stdout().flush();
+    let drained = daemon.wait();
+    if !drained {
+        eprintln!("warning: some connections did not drain before the timeout");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,260 @@
+//! Minimal blocking HTTP/1.1 client for the daemon's API (std only).
+//!
+//! One request per connection (`Connection: close`), `Content-Length`
+//! and chunked response bodies, and a streaming mode that hands chunked
+//! lines to a callback as they arrive — enough for `esteem-client` and
+//! the end-to-end tests, and nothing more.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use serde::{map_get, Deserialize, Value};
+
+use crate::job::JobSpec;
+
+/// Response head: status + lowercased headers.
+struct Head {
+    status: u16,
+    headers: Vec<(String, String)>,
+}
+
+fn read_head(reader: &mut impl BufRead) -> Result<Head, String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("reading status line: {e}"))?;
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line: {line:?}"))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut h = String::new();
+        if reader
+            .read_line(&mut h)
+            .map_err(|e| format!("reading headers: {e}"))?
+            == 0
+        {
+            return Err("connection closed mid-headers".into());
+        }
+        let t = h.trim_end_matches(['\r', '\n']);
+        if t.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = t.split_once(':') {
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_owned()));
+        }
+    }
+    Ok(Head { status, headers })
+}
+
+fn header<'a>(head: &'a Head, name: &str) -> Option<&'a str> {
+    head.headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn connect(addr: &str) -> Result<TcpStream, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(300)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    Ok(stream)
+}
+
+fn send_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(), String> {
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: esteem\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("sending request: {e}"))
+}
+
+/// One request/response round trip; decodes `Content-Length` and
+/// chunked bodies. Returns `(status, body)`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream = connect(addr)?;
+    send_request(&mut stream, method, path, body)?;
+    let mut reader = BufReader::new(stream);
+    let head = read_head(&mut reader)?;
+    let body =
+        if header(&head, "transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked")) {
+            let mut out = String::new();
+            read_chunked(&mut reader, |chunk| out.push_str(chunk))?;
+            out
+        } else if let Some(len) = header(&head, "content-length") {
+            let len: usize = len.parse().map_err(|_| "bad content-length".to_owned())?;
+            let mut buf = vec![0u8; len];
+            reader
+                .read_exact(&mut buf)
+                .map_err(|e| format!("reading body: {e}"))?;
+            String::from_utf8_lossy(&buf).into_owned()
+        } else {
+            let mut out = String::new();
+            let _ = reader.read_to_string(&mut out);
+            out
+        };
+    Ok((head.status, body))
+}
+
+/// Decodes a chunked body, invoking `sink` once per chunk payload.
+fn read_chunked(reader: &mut impl BufRead, mut sink: impl FnMut(&str)) -> Result<(), String> {
+    loop {
+        let mut size_line = String::new();
+        if reader
+            .read_line(&mut size_line)
+            .map_err(|e| format!("reading chunk size: {e}"))?
+            == 0
+        {
+            return Err("connection closed mid-chunk".into());
+        }
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| format!("bad chunk size {size_line:?}"))?;
+        if size == 0 {
+            // Trailing CRLF after the last chunk.
+            let mut crlf = String::new();
+            let _ = reader.read_line(&mut crlf);
+            return Ok(());
+        }
+        let mut buf = vec![0u8; size + 2]; // payload + CRLF
+        reader
+            .read_exact(&mut buf)
+            .map_err(|e| format!("reading chunk: {e}"))?;
+        sink(&String::from_utf8_lossy(&buf[..size]));
+    }
+}
+
+/// Streams a chunked endpoint (`/v1/jobs/{id}/events`), calling
+/// `on_line` per newline-terminated line as chunks arrive. Returns the
+/// HTTP status.
+pub fn stream_lines(addr: &str, path: &str, mut on_line: impl FnMut(&str)) -> Result<u16, String> {
+    let mut stream = connect(addr)?;
+    send_request(&mut stream, "GET", path, None)?;
+    let mut reader = BufReader::new(stream);
+    let head = read_head(&mut reader)?;
+    if !header(&head, "transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked")) {
+        // Error responses are plain bodies; drain and report via status.
+        let mut out = String::new();
+        let _ = reader.read_to_string(&mut out);
+        return Ok(head.status);
+    }
+    let mut pending = String::new();
+    read_chunked(&mut reader, |chunk| {
+        pending.push_str(chunk);
+        while let Some(nl) = pending.find('\n') {
+            let line: String = pending.drain(..=nl).collect();
+            let line = line.trim_end_matches('\n');
+            if !line.is_empty() {
+                on_line(line);
+            }
+        }
+    })?;
+    if !pending.trim().is_empty() {
+        on_line(pending.trim_end_matches('\n'));
+    }
+    Ok(head.status)
+}
+
+/// Parsed `POST /v1/jobs` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitResponse {
+    pub job: u64,
+    pub coalesced: bool,
+    pub cached: bool,
+}
+
+/// Submits a job spec; returns the assigned (or coalesced-onto) job id.
+pub fn submit(addr: &str, spec: &JobSpec) -> Result<SubmitResponse, String> {
+    let body = serde_json::to_string(spec).map_err(|e| format!("encoding spec: {e}"))?;
+    let (status, resp) = request(addr, "POST", "/v1/jobs", Some(&body))?;
+    if status != 202 {
+        return Err(format!("submit failed ({status}): {resp}"));
+    }
+    let v: Value = serde_json::from_str(&resp).map_err(|e| format!("bad response: {e}"))?;
+    let m = v.as_map().ok_or("response is not an object")?;
+    let job = u64::from_value(map_get(m, "job").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let flag = |k: &str| matches!(map_get(m, k), Ok(Value::Bool(true)));
+    Ok(SubmitResponse {
+        job,
+        coalesced: flag("coalesced"),
+        cached: flag("cached"),
+    })
+}
+
+/// `GET /v1/jobs/{id}` parsed into `(state, full response value)`.
+pub fn poll(addr: &str, job: u64) -> Result<(String, Value), String> {
+    let (status, resp) = request(addr, "GET", &format!("/v1/jobs/{job}"), None)?;
+    if status != 200 {
+        return Err(format!("poll failed ({status}): {resp}"));
+    }
+    let v: Value = serde_json::from_str(&resp).map_err(|e| format!("bad response: {e}"))?;
+    let state = v
+        .as_map()
+        .and_then(|m| map_get(m, "state").ok())
+        .and_then(|s| s.as_str())
+        .ok_or("response missing state")?
+        .to_owned();
+    Ok((state, v))
+}
+
+/// Polls until the job is terminal. `Ok(result_value)` on done (the
+/// report as a JSON value), `Err` with the job's error on failure.
+pub fn fetch(addr: &str, job: u64, poll_interval: Duration) -> Result<Value, String> {
+    loop {
+        let (state, v) = poll(addr, job)?;
+        match state.as_str() {
+            "done" => {
+                let m = v.as_map().ok_or("response is not an object")?;
+                return map_get(m, "result").cloned().map_err(|e| e.to_string());
+            }
+            "failed" => {
+                let err = v
+                    .as_map()
+                    .and_then(|m| map_get(m, "error").ok())
+                    .and_then(|e| e.as_str())
+                    .unwrap_or("unknown error")
+                    .to_owned();
+                return Err(format!("job {job} failed: {err}"));
+            }
+            _ => std::thread::sleep(poll_interval),
+        }
+    }
+}
+
+/// `POST /v1/shutdown`.
+pub fn shutdown(addr: &str) -> Result<(), String> {
+    let (status, body) = request(addr, "POST", "/v1/shutdown", None)?;
+    if status == 200 {
+        Ok(())
+    } else {
+        Err(format!("shutdown failed ({status}): {body}"))
+    }
+}
+
+/// `GET /metrics` (plain text).
+pub fn metrics(addr: &str) -> Result<String, String> {
+    let (status, body) = request(addr, "GET", "/metrics", None)?;
+    if status == 200 {
+        Ok(body)
+    } else {
+        Err(format!("metrics failed ({status}): {body}"))
+    }
+}

@@ -1,0 +1,513 @@
+//! Minimal hand-rolled HTTP/1.1 server (std only).
+//!
+//! Deliberately small: a blocking accept loop, one thread per
+//! connection, request-line/header parsing with hard size limits,
+//! `Content-Length` bodies, keep-alive, per-socket read/write timeouts,
+//! and chunked responses for streaming endpoints. No TLS, no
+//! compression, no routing DSL — the job API needs exactly none of
+//! that, and every line here is auditable.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body.
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// Requests served per connection before the server closes it (a
+/// backstop against one client pinning a connection thread forever).
+const MAX_REQUESTS_PER_CONN: u32 = 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Raw query string (may be empty).
+    pub query: String,
+    /// Header names are lowercased at parse time.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// What a handler returns. `Stream` bodies are written chunked, one
+/// chunk per yielded string; the iterator may block between items.
+pub enum HandlerResult {
+    /// `application/json` body.
+    Json(u16, String),
+    /// `text/plain` body.
+    Text(u16, String),
+    /// Chunked `application/jsonl` stream of lines. The iterator may
+    /// block while waiting for the next line; it ends the response by
+    /// returning `None`.
+    Stream(u16, Box<dyn Iterator<Item = String> + Send>),
+}
+
+pub type Handler = Arc<dyn Fn(&Request) -> HandlerResult + Send + Sync>;
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Counters the server exports via `/metrics`.
+#[derive(Debug, Default)]
+pub struct HttpCounters {
+    pub accepted: AtomicU64,
+    pub requests: AtomicU64,
+    pub responses_2xx: AtomicU64,
+    pub responses_4xx: AtomicU64,
+    pub responses_5xx: AtomicU64,
+    pub parse_errors: AtomicU64,
+}
+
+struct ConnTracker {
+    live: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl ConnTracker {
+    fn enter(self: &Arc<Self>) -> ConnGuard {
+        *self.live.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        ConnGuard(Arc::clone(self))
+    }
+
+    fn wait_zero(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut live = self.live.lock().unwrap_or_else(|e| e.into_inner());
+        while *live > 0 {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .zero
+                .wait_timeout(live, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            live = guard;
+        }
+        true
+    }
+}
+
+struct ConnGuard(Arc<ConnTracker>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        let mut live = self.0.live.lock().unwrap_or_else(|e| e.into_inner());
+        *live -= 1;
+        if *live == 0 {
+            self.0.zero.notify_all();
+        }
+    }
+}
+
+/// Handle for stopping a running [`HttpServer`] from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Requests the accept loop to exit. Idempotent.
+    pub fn stop(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+/// The server: owns the listener and the connection threads.
+pub struct HttpServer {
+    listener: TcpListener,
+    handler: Handler,
+    stop: Arc<AtomicBool>,
+    conns: Arc<ConnTracker>,
+    pub counters: Arc<HttpCounters>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+}
+
+impl HttpServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: &str, handler: Handler) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            listener,
+            handler,
+            stop: Arc::new(AtomicBool::new(false)),
+            conns: Arc::new(ConnTracker {
+                live: Mutex::new(0),
+                zero: Condvar::new(),
+            }),
+            counters: Arc::new(HttpCounters::default()),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has addr")
+    }
+
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.local_addr(),
+        }
+    }
+
+    /// Serves until [`ServerHandle::stop`] is called, then waits up to
+    /// `drain` for in-flight connections to finish. Returns whether all
+    /// connections drained in time.
+    pub fn serve(self, drain: Duration) -> bool {
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            let handler = Arc::clone(&self.handler);
+            let counters = Arc::clone(&self.counters);
+            let guard = self.conns.enter();
+            let stop = Arc::clone(&self.stop);
+            let (rt, wt) = (self.read_timeout, self.write_timeout);
+            std::thread::Builder::new()
+                .name("esteem-serve-conn".into())
+                .spawn(move || {
+                    let _guard = guard;
+                    let _ = serve_connection(stream, &handler, &counters, &stop, rt, wt);
+                })
+                .expect("spawn connection thread");
+        }
+        self.conns.wait_zero(drain)
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    handler: &Handler,
+    counters: &HttpCounters,
+    stop: &AtomicBool,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(read_timeout))?;
+    stream.set_write_timeout(Some(write_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for _ in 0..MAX_REQUESTS_PER_CONN {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            // Clean end of connection (client closed between requests).
+            Ok(None) => return Ok(()),
+            Err(e) => {
+                counters.parse_errors.fetch_add(1, Ordering::Relaxed);
+                // Timeouts on an idle keep-alive connection are routine;
+                // anything else gets a best-effort 400 before closing.
+                if e.kind() != std::io::ErrorKind::WouldBlock
+                    && e.kind() != std::io::ErrorKind::TimedOut
+                {
+                    let _ = write_simple(&mut writer, 400, "text/plain", e.to_string(), false);
+                }
+                return Ok(());
+            }
+        };
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        let keep_alive = !matches!(req.header("connection"), Some(c) if c.eq_ignore_ascii_case("close"))
+            && !stop.load(Ordering::SeqCst);
+        let result = handler(&req);
+        let status = match &result {
+            HandlerResult::Json(s, _) | HandlerResult::Text(s, _) | HandlerResult::Stream(s, _) => {
+                *s
+            }
+        };
+        match status {
+            200..=299 => counters.responses_2xx.fetch_add(1, Ordering::Relaxed),
+            400..=499 => counters.responses_4xx.fetch_add(1, Ordering::Relaxed),
+            _ => counters.responses_5xx.fetch_add(1, Ordering::Relaxed),
+        };
+        match result {
+            HandlerResult::Json(status, body) => {
+                write_simple(&mut writer, status, "application/json", body, keep_alive)?;
+            }
+            HandlerResult::Text(status, body) => {
+                write_simple(&mut writer, status, "text/plain", body, keep_alive)?;
+            }
+            HandlerResult::Stream(status, lines) => {
+                write_chunked(&mut writer, status, lines, keep_alive)?;
+            }
+        }
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Reads one request. `Ok(None)` means the client closed the connection
+/// cleanly before sending a request line.
+fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned());
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("missing method"))?
+        .to_owned();
+    let target = parts.next().ok_or_else(|| bad("missing path"))?;
+    let version = parts.next().ok_or_else(|| bad("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    let mut head_bytes = line.len();
+    loop {
+        let mut hline = String::new();
+        if reader.read_line(&mut hline)? == 0 {
+            return Err(bad("connection closed mid-headers"));
+        }
+        head_bytes += hline.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(bad("request head too large"));
+        }
+        let trimmed = hline.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let (name, value) = trimmed.split_once(':').ok_or_else(|| bad("bad header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| bad("bad content-length"))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad("request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+fn write_simple(
+    w: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: String,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {conn}\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+fn write_chunked(
+    w: &mut TcpStream,
+    status: u16,
+    lines: Box<dyn Iterator<Item = String> + Send>,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/jsonl\r\nTransfer-Encoding: chunked\r\nConnection: {conn}\r\n\r\n",
+        reason(status),
+    );
+    w.write_all(head.as_bytes())?;
+    w.flush()?;
+    for line in lines {
+        // One chunk per line, newline-terminated inside the chunk so a
+        // consumer can split on lines without understanding chunking.
+        let payload = format!("{line}\n");
+        write!(w, "{:x}\r\n", payload.len())?;
+        w.write_all(payload.as_bytes())?;
+        w.write_all(b"\r\n")?;
+        w.flush()?;
+    }
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(handler: Handler) -> (ServerHandle, SocketAddr, std::thread::JoinHandle<bool>) {
+        let server = HttpServer::bind("127.0.0.1:0", handler).unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.serve(Duration::from_secs(5)));
+        (handle, addr, join)
+    }
+
+    fn raw_roundtrip(addr: SocketAddr, request: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    /// Reads one full response (head + `Content-Length` body) from a
+    /// keep-alive connection; a single `read` may return partial data.
+    fn read_response(s: &mut TcpStream) -> String {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 512];
+        loop {
+            let text = String::from_utf8_lossy(&buf).into_owned();
+            if let Some(head_end) = text.find("\r\n\r\n") {
+                let content_length = text
+                    .lines()
+                    .find_map(|l| l.strip_prefix("Content-Length: "))
+                    .and_then(|v| v.trim().parse::<usize>().ok())
+                    .unwrap_or(0);
+                if buf.len() >= head_end + 4 + content_length {
+                    return text;
+                }
+            }
+            let n = s.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed mid-response: {text}");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    #[test]
+    fn serves_and_keeps_alive() {
+        let (handle, addr, join) = start(Arc::new(|req: &Request| {
+            HandlerResult::Json(200, format!("{{\"path\":\"{}\"}}", req.path))
+        }));
+        // Two requests on one connection, then explicit close.
+        let mut s = TcpStream::connect(addr).unwrap();
+        for i in 0..2 {
+            let close = if i == 1 { "Connection: close\r\n" } else { "" };
+            s.write_all(format!("GET /ping{i} HTTP/1.1\r\nHost: x\r\n{close}\r\n").as_bytes())
+                .unwrap();
+            let text = read_response(&mut s);
+            assert!(text.starts_with("HTTP/1.1 200 OK"), "got: {text}");
+            assert!(text.contains(&format!("/ping{i}")), "got: {text}");
+        }
+        handle.stop();
+        assert!(join.join().unwrap());
+    }
+
+    #[test]
+    fn post_body_and_404() {
+        let (handle, addr, join) = start(Arc::new(|req: &Request| {
+            if req.path == "/echo" {
+                HandlerResult::Text(200, String::from_utf8_lossy(&req.body).into_owned())
+            } else {
+                HandlerResult::Text(404, "not found".into())
+            }
+        }));
+        let body = "hello server";
+        let out = raw_roundtrip(
+            addr,
+            &format!(
+                "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert!(out.contains("200 OK") && out.ends_with(body), "got: {out}");
+        let out = raw_roundtrip(
+            addr,
+            "GET /nope HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
+        assert!(out.contains("404"), "got: {out}");
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let (handle, addr, join) = start(Arc::new(|_: &Request| {
+            HandlerResult::Text(200, "ok".into())
+        }));
+        let out = raw_roundtrip(addr, "TOTAL GARBAGE\r\n\r\n");
+        assert!(out.contains("400"), "got: {out}");
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn chunked_stream_is_line_separable() {
+        let (handle, addr, join) = start(Arc::new(|_: &Request| {
+            let lines = vec!["{\"a\":1}".to_owned(), "{\"a\":2}".to_owned()];
+            HandlerResult::Stream(200, Box::new(lines.into_iter()))
+        }));
+        let out = raw_roundtrip(
+            addr,
+            "GET /stream HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
+        assert!(out.contains("Transfer-Encoding: chunked"), "got: {out}");
+        assert!(out.contains("{\"a\":1}") && out.contains("{\"a\":2}"));
+        assert!(out.trim_end().ends_with("0"), "chunked terminator: {out}");
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn query_string_is_split_off() {
+        let (handle, addr, join) = start(Arc::new(|req: &Request| {
+            HandlerResult::Text(200, format!("{}|{}", req.path, req.query))
+        }));
+        let out = raw_roundtrip(
+            addr,
+            "GET /a/b?x=1&y=2 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
+        assert!(out.ends_with("/a/b|x=1&y=2"), "got: {out}");
+        handle.stop();
+        join.join().unwrap();
+    }
+}

@@ -1,0 +1,324 @@
+//! Crash-safe append-only job journal.
+//!
+//! One JSON object per line, written (and fsync'd via `BufWriter` flush
+//! per record) at every job state transition:
+//!
+//! ```text
+//! {"event":"submit","job":3,"fingerprint":"00ab..","t":1754500000,"spec":{..}}
+//! {"event":"coalesce","into":3,"t":..}
+//! {"event":"start","job":3,"t":..}
+//! {"event":"done","job":3,"t":..}
+//! {"event":"fail","job":3,"error":"..","t":..}
+//! ```
+//!
+//! Recovery replays the log on daemon start:
+//! * `done` jobs come back as done; the report itself is *not* in the
+//!   journal (it can be megabytes) — it is re-materialized from the run
+//!   cache by fingerprint, and if the cache no longer holds it the job
+//!   is simply re-queued (the simulator is deterministic, so re-running
+//!   reproduces the identical report).
+//! * `fail` jobs come back failed with their recorded error.
+//! * submitted-but-unfinished jobs (crash mid-run) are re-queued.
+//! * a torn final line (crash mid-write) is skipped, not fatal.
+
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use serde::{map_get, Deserialize, Serialize, Value};
+
+use crate::job::JobSpec;
+
+/// Append-side handle. `Journal::none()` disables journaling (all
+/// records are dropped), which keeps call sites branch-free.
+pub struct Journal {
+    file: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    path: Option<PathBuf>,
+}
+
+fn epoch_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+impl Journal {
+    /// Opens (creating or appending) the journal at `path`.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::File::options()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Self {
+            file: Some(Mutex::new(std::io::BufWriter::new(file))),
+            path: Some(path.to_owned()),
+        })
+    }
+
+    /// A disabled journal: every record is a no-op.
+    pub fn none() -> Self {
+        Self {
+            file: None,
+            path: None,
+        }
+    }
+
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    fn record(&self, mut fields: Vec<(String, Value)>) {
+        let Some(file) = &self.file else { return };
+        fields.push(("t".into(), epoch_secs().to_value()));
+        let line = serde_json::to_string(&Value::Map(fields)).expect("journal record serializes");
+        let mut w = file.lock().unwrap_or_else(|e| e.into_inner());
+        // Flush per record: the journal exists for crash recovery, so a
+        // record buffered in userspace is a record lost.
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+
+    pub fn submit(&self, job: u64, fingerprint: u64, spec: &JobSpec) {
+        self.record(vec![
+            ("event".into(), Value::Str("submit".into())),
+            ("job".into(), job.to_value()),
+            (
+                "fingerprint".into(),
+                Value::Str(format!("{fingerprint:016x}")),
+            ),
+            ("spec".into(), spec.to_value()),
+        ]);
+    }
+
+    /// Records that a duplicate submission coalesced onto job `into`.
+    /// Coalesced submissions have no id of their own — they *are* the
+    /// primary job — so only the target is recorded.
+    pub fn coalesce(&self, into: u64) {
+        self.record(vec![
+            ("event".into(), Value::Str("coalesce".into())),
+            ("into".into(), into.to_value()),
+        ]);
+    }
+
+    pub fn start(&self, job: u64) {
+        self.record(vec![
+            ("event".into(), Value::Str("start".into())),
+            ("job".into(), job.to_value()),
+        ]);
+    }
+
+    pub fn done(&self, job: u64) {
+        self.record(vec![
+            ("event".into(), Value::Str("done".into())),
+            ("job".into(), job.to_value()),
+        ]);
+    }
+
+    pub fn fail(&self, job: u64, error: &str) {
+        self.record(vec![
+            ("event".into(), Value::Str("fail".into())),
+            ("job".into(), job.to_value()),
+            ("error".into(), Value::Str(error.into())),
+        ]);
+    }
+}
+
+/// Outcome of one journaled job after replay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveredOutcome {
+    /// Submitted (possibly started) but never finished: re-queue.
+    Unfinished,
+    /// Finished successfully; report must be re-materialized from the
+    /// run cache (or by re-running).
+    Done,
+    Failed(String),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredJob {
+    pub id: u64,
+    pub spec: JobSpec,
+    pub fingerprint: u64,
+    pub outcome: RecoveredOutcome,
+}
+
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// In submit order.
+    pub jobs: Vec<RecoveredJob>,
+    /// Highest job id seen (id allocation resumes above it).
+    pub max_id: u64,
+    /// Lines that failed to parse (only the torn tail is expected).
+    pub skipped_lines: u64,
+}
+
+/// Replays a journal file. A missing file is an empty recovery (first
+/// boot), not an error.
+pub fn recover(path: &Path) -> std::io::Result<Recovery> {
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Recovery::default()),
+        Err(e) => return Err(e),
+    };
+    let mut rec = Recovery::default();
+    for line in std::io::BufReader::new(file).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = serde_json::from_str::<Value>(&line) else {
+            rec.skipped_lines += 1;
+            continue;
+        };
+        if apply(&mut rec, &v).is_none() {
+            rec.skipped_lines += 1;
+        }
+    }
+    Ok(rec)
+}
+
+fn apply(rec: &mut Recovery, v: &Value) -> Option<()> {
+    let m = v.as_map()?;
+    let event = map_get(m, "event").ok()?.as_str()?;
+    // Coalesced submissions never executed separately; nothing to
+    // recover (the primary job carries the work).
+    if event == "coalesce" {
+        return Some(());
+    }
+    let id = u64::from_value(map_get(m, "job").ok()?).ok()?;
+    rec.max_id = rec.max_id.max(id);
+    match event {
+        "submit" => {
+            let spec = JobSpec::from_value(map_get(m, "spec").ok()?).ok()?;
+            let fp = map_get(m, "fingerprint").ok()?.as_str()?;
+            let fingerprint = u64::from_str_radix(fp, 16).ok()?;
+            rec.jobs.push(RecoveredJob {
+                id,
+                spec,
+                fingerprint,
+                outcome: RecoveredOutcome::Unfinished,
+            });
+        }
+        "start" => {}
+        "done" => {
+            let job = rec.jobs.iter_mut().find(|j| j.id == id)?;
+            job.outcome = RecoveredOutcome::Done;
+        }
+        "fail" => {
+            let error = map_get(m, "error").ok()?.as_str()?.to_owned();
+            let job = rec.jobs.iter_mut().find(|j| j.id == id)?;
+            job.outcome = RecoveredOutcome::Failed(error);
+        }
+        _ => return None,
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("esteem-journal-{}-{name}", std::process::id()))
+    }
+
+    fn spec(seed: u64) -> JobSpec {
+        JobSpec {
+            workload: "gamess".into(),
+            seed,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn round_trips_all_outcomes() {
+        let path = tmp("roundtrip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        j.submit(1, 0xabc, &spec(1));
+        j.start(1);
+        j.done(1);
+        j.submit(2, 0xdef, &spec(2));
+        j.start(2);
+        j.fail(2, "panicked: boom");
+        j.submit(3, 0x123, &spec(3));
+        j.coalesce(3);
+        j.submit(5, 0x456, &spec(5));
+        j.start(5);
+        // Daemon "crashes" here: job 3 queued, job 5 running.
+        drop(j);
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.max_id, 5);
+        assert_eq!(rec.skipped_lines, 0);
+        assert_eq!(rec.jobs.len(), 4);
+        assert_eq!(rec.jobs[0].outcome, RecoveredOutcome::Done);
+        assert_eq!(rec.jobs[0].fingerprint, 0xabc);
+        assert_eq!(
+            rec.jobs[1].outcome,
+            RecoveredOutcome::Failed("panicked: boom".into())
+        );
+        assert_eq!(rec.jobs[2].outcome, RecoveredOutcome::Unfinished);
+        assert_eq!(rec.jobs[3].outcome, RecoveredOutcome::Unfinished);
+        assert_eq!(rec.jobs[3].spec.seed, 5);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped() {
+        let path = tmp("torn.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        j.submit(1, 0x1, &spec(1));
+        drop(j);
+        // Simulate a crash mid-write of the next record.
+        {
+            let mut f = std::fs::File::options().append(true).open(&path).unwrap();
+            f.write_all(b"{\"event\":\"done\",\"jo").unwrap();
+        }
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.skipped_lines, 1);
+        assert_eq!(rec.jobs.len(), 1);
+        assert_eq!(rec.jobs[0].outcome, RecoveredOutcome::Unfinished);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_journal_is_empty_recovery() {
+        let rec = recover(Path::new("/nonexistent/esteem-journal.jsonl")).unwrap();
+        assert!(rec.jobs.is_empty());
+        assert_eq!(rec.max_id, 0);
+    }
+
+    #[test]
+    fn disabled_journal_is_a_no_op() {
+        let j = Journal::none();
+        j.submit(1, 0x1, &spec(1));
+        j.done(1);
+        assert!(j.path().is_none());
+    }
+
+    #[test]
+    fn reopen_appends_rather_than_truncates() {
+        let path = tmp("append.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let j = Journal::open(&path).unwrap();
+            j.submit(1, 0x1, &spec(1));
+        }
+        {
+            let j = Journal::open(&path).unwrap();
+            j.done(1);
+        }
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.jobs.len(), 1);
+        assert_eq!(rec.jobs[0].outcome, RecoveredOutcome::Done);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,43 @@
+//! `esteem-serve`: a resident job server that turns the one-shot
+//! simulator into a long-running sweep service.
+//!
+//! The experiment harness runs thousands of short deterministic
+//! simulations; spawning a fresh process per run pays process startup,
+//! cold caches, and cold file-system state every time. This crate keeps
+//! one warm daemon up instead:
+//!
+//! * [`http`] — a minimal hand-rolled HTTP/1.1 server (std only; the
+//!   workspace is offline and vendors every dependency).
+//! * [`job`] — job specs (wire format mirrors the `esteem-sim` CLI
+//!   flags), per-job state, and blocking progress-event streams.
+//! * [`queue`] — bounded priority queue with per-client fairness.
+//! * [`journal`] — crash-safe append-only JSONL journal + recovery.
+//! * [`server`] — the daemon: scheduler thread, resident
+//!   [`esteem_par::WorkerPool`], run-cache-backed dedupe (identical
+//!   in-flight configs coalesce onto one execution), panic isolation,
+//!   and the JSON API.
+//! * [`client`] — a minimal blocking HTTP client used by
+//!   `esteem-client` and the end-to-end tests.
+//!
+//! API summary (see DESIGN.md §13 for the full contract):
+//!
+//! | Route                     | Meaning                                |
+//! |---------------------------|----------------------------------------|
+//! | `POST /v1/jobs`           | submit a [`job::JobSpec`] (JSON)       |
+//! | `GET /v1/jobs/{id}`       | status + result when done              |
+//! | `GET /v1/jobs/{id}/events`| chunked JSONL interval-sample stream   |
+//! | `GET /metrics`            | plain-text stats snapshot              |
+//! | `GET /v1/health`          | liveness probe                         |
+//! | `POST /v1/shutdown`       | graceful drain and exit                |
+
+pub mod client;
+pub mod http;
+pub mod job;
+pub mod journal;
+pub mod queue;
+pub mod server;
+
+pub use job::{Job, JobSpec, JobState};
+pub use journal::{Journal, Recovery};
+pub use queue::{JobQueue, PushError, QueuedJob};
+pub use server::{spawn, Daemon, ServerOptions};

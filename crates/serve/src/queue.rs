@@ -1,0 +1,261 @@
+//! Bounded job queue with priorities and per-client fairness.
+//!
+//! Selection order when the scheduler pops:
+//! 1. highest `priority` first;
+//! 2. among equal priorities, the client served *least recently* goes
+//!    first (round-robin across clients, so one client flooding the
+//!    queue cannot starve another);
+//! 3. among entries of the same client and priority, FIFO.
+//!
+//! The queue is bounded; [`JobQueue::push`] never blocks — a full queue
+//! is an explicit [`PushError::Full`] that the HTTP layer turns into a
+//! 429 shed. Journal recovery uses [`JobQueue::push_recovered`], which
+//! ignores the cap: jobs already accepted (and journaled) before a crash
+//! must not be dropped by a restart.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+
+/// One queued entry (the job body lives in the server's job table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedJob {
+    pub job_id: u64,
+    pub priority: u8,
+    pub client: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// Queue at capacity — shed the request.
+    Full,
+    /// Queue closed (daemon draining).
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full => write!(f, "queue full"),
+            PushError::Closed => write!(f, "queue closed"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    entries: Vec<Entry>,
+    /// Monotone arrival stamp (FIFO tie-break).
+    seq: u64,
+    /// Monotone pop stamp; `served[client]` is the stamp of that
+    /// client's most recent pop (0 = never served).
+    pops: u64,
+    served: HashMap<String, u64>,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct Entry {
+    job: QueuedJob,
+    seq: u64,
+}
+
+/// See the module docs for ordering semantics.
+#[derive(Debug)]
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                seq: 0,
+                pops: 0,
+                served: HashMap::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Non-blocking enqueue; a full queue sheds instead of waiting.
+    pub fn push(&self, job: QueuedJob) -> Result<(), PushError> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.entries.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.entries.push(Entry { job, seq });
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue bypassing the capacity cap (journal recovery only).
+    pub fn push_recovered(&self, job: QueuedJob) -> Result<(), PushError> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.entries.push(Entry { job, seq });
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an entry is available or the queue is closed and
+    /// empty (then `None` — the scheduler's exit signal).
+    pub fn pop_blocking(&self) -> Option<QueuedJob> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(idx) = Self::select(&inner) {
+                let entry = inner.entries.swap_remove(idx);
+                inner.pops += 1;
+                let stamp = inner.pops;
+                inner.served.insert(entry.job.client.clone(), stamp);
+                return Some(entry.job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Index of the entry to serve next, per the module-doc ordering.
+    fn select(inner: &Inner) -> Option<usize> {
+        inner
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| {
+                let last_served = inner.served.get(&e.job.client).copied().unwrap_or(0);
+                // min_by_key, so invert priority (higher priority ->
+                // smaller key); then least-recently-served client; then
+                // arrival order.
+                (u8::MAX - e.job.priority, last_served, e.seq)
+            })
+            .map(|(idx, _)| idx)
+    }
+
+    /// Closes the queue: pushes fail, pops drain what remains then
+    /// return `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, priority: u8, client: &str) -> QueuedJob {
+        QueuedJob {
+            job_id: id,
+            priority,
+            client: client.into(),
+        }
+    }
+
+    fn drain_ids(q: &JobQueue) -> Vec<u64> {
+        q.close();
+        std::iter::from_fn(|| q.pop_blocking())
+            .map(|j| j.job_id)
+            .collect()
+    }
+
+    #[test]
+    fn fifo_within_one_client() {
+        let q = JobQueue::new(8);
+        for id in 0..4 {
+            q.push(job(id, 1, "a")).unwrap();
+        }
+        assert_eq!(drain_ids(&q), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn higher_priority_wins() {
+        let q = JobQueue::new(8);
+        q.push(job(0, 1, "a")).unwrap();
+        q.push(job(1, 9, "a")).unwrap();
+        q.push(job(2, 5, "a")).unwrap();
+        assert_eq!(drain_ids(&q), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn equal_priority_round_robins_across_clients() {
+        let q = JobQueue::new(16);
+        // Client a floods first; client b's lone jobs must interleave.
+        for id in 0..3 {
+            q.push(job(id, 1, "a")).unwrap();
+        }
+        q.push(job(10, 1, "b")).unwrap();
+        q.push(job(11, 1, "b")).unwrap();
+        // Never-served clients tie at stamp 0, then FIFO: a's 0 goes
+        // first, which stamps a, so b runs next, and so on.
+        assert_eq!(drain_ids(&q), vec![0, 10, 1, 11, 2]);
+    }
+
+    #[test]
+    fn priority_trumps_fairness() {
+        let q = JobQueue::new(8);
+        q.push(job(0, 1, "a")).unwrap();
+        q.push(job(1, 1, "b")).unwrap();
+        q.push(job(2, 9, "a")).unwrap();
+        // a's high-priority job jumps the line even though fairness
+        // would prefer b; afterwards a is stamped as served, so b's
+        // equal-priority job goes before a's remaining one.
+        assert_eq!(drain_ids(&q), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn full_queue_sheds_and_recovery_bypasses_cap() {
+        let q = JobQueue::new(2);
+        q.push(job(0, 1, "a")).unwrap();
+        q.push(job(1, 1, "a")).unwrap();
+        assert_eq!(q.push(job(2, 1, "a")), Err(PushError::Full));
+        q.push_recovered(job(3, 1, "a")).unwrap();
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn closed_queue_refuses_pushes_and_drains() {
+        let q = JobQueue::new(4);
+        q.push(job(0, 1, "a")).unwrap();
+        q.close();
+        assert_eq!(q.push(job(1, 1, "a")), Err(PushError::Closed));
+        assert_eq!(q.pop_blocking().map(|j| j.job_id), Some(0));
+        assert_eq!(q.pop_blocking(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = std::sync::Arc::new(JobQueue::new(4));
+        let q2 = std::sync::Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop_blocking());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(job(42, 1, "a")).unwrap();
+        assert_eq!(t.join().unwrap().map(|j| j.job_id), Some(42));
+    }
+}

@@ -1,0 +1,654 @@
+//! The daemon: HTTP front end + scheduler + resident worker pool.
+//!
+//! Data flow: `POST /v1/jobs` resolves the spec, fingerprints it, and
+//! either (a) returns a run-cache hit as an immediately-done job, (b)
+//! coalesces onto an identical in-flight job, or (c) enqueues a new job
+//! in the bounded [`JobQueue`] (full queue => 429 shed). A single
+//! scheduler thread pops in priority/fairness order and hands jobs to a
+//! long-lived [`WorkerPool`]; each execution is panic-isolated, so an
+//! invalid configuration (the simulator validates with asserts) fails
+//! that one job while the daemon keeps serving.
+//!
+//! Every state transition is journaled; on restart, finished jobs are
+//! re-materialized from the run cache and unfinished ones are re-queued
+//! (see [`crate::journal`]).
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use esteem_core::Simulator;
+use esteem_harness::runcache;
+use esteem_par::WorkerPool;
+use esteem_stats::{IntervalObserver, IntervalSample, Scope, StatsReading, StatsSource};
+use esteem_trace::{EventKind, TraceEvent, TraceFilter, Tracer};
+use serde::{Serialize, Value};
+
+use crate::http::{Handler, HandlerResult, HttpCounters, HttpServer};
+use crate::job::{EventStream, Job, JobSpec, JobState};
+use crate::journal::{recover, Journal, RecoveredOutcome};
+use crate::queue::{JobQueue, PushError, QueuedJob};
+
+/// Daemon configuration (all fields have serviceable defaults).
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Resident worker threads executing simulations.
+    pub workers: usize,
+    /// Queue bound: submissions beyond it are shed with 429.
+    pub queue_capacity: usize,
+    /// Append-only journal path (`None` disables crash recovery).
+    pub journal_path: Option<PathBuf>,
+    /// Start with the scheduler paused (tests and drain-and-inspect
+    /// operation; resume with [`Daemon::resume`]).
+    pub start_paused: bool,
+    /// How long shutdown waits for open connections to finish.
+    pub drain_timeout: Duration,
+    /// Ring-buffer tracer capacity; 0 disables tracing.
+    pub trace_events: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 64,
+            journal_path: None,
+            start_paused: false,
+            drain_timeout: Duration::from_secs(10),
+            trace_events: 1 << 16,
+        }
+    }
+}
+
+/// Daemon-level counters, exported under `serve/` in `/metrics`.
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    pub submitted: AtomicU64,
+    pub coalesced: AtomicU64,
+    /// Submissions answered straight from the run cache.
+    pub cached: AtomicU64,
+    /// Submissions shed because the queue was full.
+    pub shed: AtomicU64,
+    /// Submissions rejected at resolve time (bad spec).
+    pub rejected: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    /// Jobs reconstructed from the journal at startup.
+    pub recovered: AtomicU64,
+}
+
+impl StatsSource for ServeCounters {
+    fn collect(&self, out: &mut Scope<'_>) {
+        out.counter("jobs_submitted", self.submitted.load(Ordering::Relaxed));
+        out.counter("jobs_coalesced", self.coalesced.load(Ordering::Relaxed));
+        out.counter("jobs_cached", self.cached.load(Ordering::Relaxed));
+        out.counter("jobs_shed", self.shed.load(Ordering::Relaxed));
+        out.counter("jobs_rejected", self.rejected.load(Ordering::Relaxed));
+        out.counter("jobs_completed", self.completed.load(Ordering::Relaxed));
+        out.counter("jobs_failed", self.failed.load(Ordering::Relaxed));
+        out.counter("jobs_recovered", self.recovered.load(Ordering::Relaxed));
+    }
+}
+
+/// Two-state gate for the scheduler (pause/resume).
+#[derive(Debug, Default)]
+struct Gate {
+    paused: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn set(&self, paused: bool) {
+        *self.paused.lock().unwrap_or_else(|e| e.into_inner()) = paused;
+        self.cv.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let mut paused = self.paused.lock().unwrap_or_else(|e| e.into_inner());
+        while *paused {
+            paused = self.cv.wait(paused).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+struct State {
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    next_id: AtomicU64,
+    /// fingerprint -> primary job id, for every job not yet terminal.
+    inflight: Mutex<HashMap<u64, u64>>,
+    queue: JobQueue,
+    journal: Journal,
+    counters: ServeCounters,
+    tracer: Tracer,
+    gate: Gate,
+    /// Signaled by `POST /v1/shutdown`.
+    shutdown: (Mutex<bool>, Condvar),
+    /// Filled in once the HTTP server is bound (the server owns them).
+    http_counters: Mutex<Option<Arc<HttpCounters>>>,
+}
+
+impl State {
+    fn job(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&id)
+            .cloned()
+    }
+
+    fn add_job(&self, job: Arc<Job>) {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(job.id, job);
+    }
+
+    fn remove_job(&self, id: u64) {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id);
+    }
+
+    fn alloc_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn request_shutdown(&self) {
+        let (lock, cv) = &self.shutdown;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cv.notify_all();
+    }
+
+    fn wait_shutdown(&self) {
+        let (lock, cv) = &self.shutdown;
+        let mut flag = lock.lock().unwrap_or_else(|e| e.into_inner());
+        while !*flag {
+            flag = cv.wait(flag).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Streams interval samples into the job's event buffer as JSONL.
+struct EventSink {
+    events: Arc<crate::job::JobEvents>,
+}
+
+impl IntervalObserver for EventSink {
+    fn on_interval(&mut self, sample: &IntervalSample) {
+        self.events
+            .push(serde_json::to_string(sample).expect("sample serializes"));
+    }
+}
+
+/// A running daemon. Dropping it without [`Daemon::wait`] aborts
+/// ungracefully; the intended lifecycle is `spawn` -> (work) -> HTTP
+/// shutdown or [`Daemon::shutdown`] -> `wait`.
+pub struct Daemon {
+    addr: SocketAddr,
+    state: Arc<State>,
+    http: Option<std::thread::JoinHandle<bool>>,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+    http_handle: crate::http::ServerHandle,
+}
+
+impl Daemon {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Pauses the scheduler: queued jobs stay queued. Running jobs are
+    /// unaffected.
+    pub fn pause(&self) {
+        self.state.gate.set(true);
+    }
+
+    pub fn resume(&self) {
+        self.state.gate.set(false);
+    }
+
+    /// Programmatic equivalent of `POST /v1/shutdown`.
+    pub fn shutdown(&self) {
+        self.state.request_shutdown();
+    }
+
+    /// Counter snapshot (tests; the HTTP view is `/metrics`).
+    pub fn counters(&self) -> &ServeCounters {
+        &self.state.counters
+    }
+
+    /// Drains the daemon's tracer ring (queue-wait/cache/run spans and
+    /// run-cache hit/miss events).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.state.tracer.drain()
+    }
+
+    /// Blocks until shutdown is requested, then drains: the queue
+    /// closes, every already-accepted job still runs to completion, the
+    /// worker pool joins, and the HTTP listener stops. Returns `true`
+    /// when all connections drained within the timeout.
+    pub fn wait(mut self) -> bool {
+        self.state.wait_shutdown();
+        // No new pushes; scheduler drains the queue then exits.
+        self.state.queue.close();
+        // Unpause: a paused scheduler must still drain on shutdown.
+        self.state.gate.set(false);
+        if let Some(s) = self.scheduler.take() {
+            let _ = s.join();
+        }
+        // The scheduler joined the pool before exiting, so every job is
+        // now terminal; close any event streams of jobs that never ran.
+        for job in self
+            .state
+            .jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            job.events.close();
+        }
+        self.http_handle.stop();
+        match self.http.take() {
+            Some(h) => h.join().unwrap_or(false),
+            None => true,
+        }
+    }
+}
+
+/// Binds, recovers the journal, and starts the scheduler + HTTP threads.
+pub fn spawn(opts: ServerOptions) -> std::io::Result<Daemon> {
+    let tracer = if opts.trace_events > 0 {
+        Tracer::ring(opts.trace_events, TraceFilter::all())
+    } else {
+        Tracer::off()
+    };
+    let journal = match &opts.journal_path {
+        Some(p) => Journal::open(p)?,
+        None => Journal::none(),
+    };
+    let state = Arc::new(State {
+        jobs: Mutex::new(HashMap::new()),
+        next_id: AtomicU64::new(0),
+        inflight: Mutex::new(HashMap::new()),
+        queue: JobQueue::new(opts.queue_capacity),
+        journal,
+        counters: ServeCounters::default(),
+        tracer,
+        gate: Gate::default(),
+        shutdown: (Mutex::new(false), Condvar::new()),
+        http_counters: Mutex::new(None),
+    });
+    state.gate.set(opts.start_paused);
+
+    if let Some(path) = &opts.journal_path {
+        recover_jobs(&state, path)?;
+    }
+
+    let pool = WorkerPool::new(opts.workers, opts.workers.max(1) * 2);
+    let sched_state = Arc::clone(&state);
+    let scheduler = std::thread::Builder::new()
+        .name("esteem-serve-sched".into())
+        .spawn(move || scheduler_loop(&sched_state, pool))
+        .expect("spawn scheduler");
+
+    let handler = make_handler(Arc::clone(&state));
+    let server = HttpServer::bind(&opts.addr, handler)?;
+    let addr = server.local_addr();
+    let http_handle = server.handle();
+    *state
+        .http_counters
+        .lock()
+        .unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&server.counters));
+    let drain = opts.drain_timeout;
+    let http = std::thread::Builder::new()
+        .name("esteem-serve-http".into())
+        .spawn(move || server.serve(drain))
+        .expect("spawn http thread");
+
+    Ok(Daemon {
+        addr,
+        state,
+        http: Some(http),
+        scheduler: Some(scheduler),
+        http_handle,
+    })
+}
+
+fn recover_jobs(state: &Arc<State>, path: &std::path::Path) -> std::io::Result<()> {
+    let rec = recover(path)?;
+    state.next_id.store(rec.max_id, Ordering::Relaxed);
+    for r in rec.jobs {
+        let job = Arc::new(Job::new(r.id, r.spec, r.fingerprint));
+        match r.outcome {
+            RecoveredOutcome::Done => match runcache::lookup(r.fingerprint) {
+                Some(report) => {
+                    job.set_state(JobState::Done(Box::new(report)));
+                    job.events.close();
+                }
+                // Result evicted from the cache: re-run (deterministic,
+                // so the client sees the identical report).
+                None => requeue_recovered(state, &job),
+            },
+            RecoveredOutcome::Failed(err) => {
+                job.set_state(JobState::Failed(err));
+                job.events.close();
+            }
+            RecoveredOutcome::Unfinished => requeue_recovered(state, &job),
+        }
+        state.counters.recovered.fetch_add(1, Ordering::Relaxed);
+        state.add_job(job);
+    }
+    Ok(())
+}
+
+fn requeue_recovered(state: &Arc<State>, job: &Arc<Job>) {
+    job.set_state(JobState::Queued);
+    state
+        .inflight
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(job.fingerprint, job.id);
+    let _ = state.queue.push_recovered(QueuedJob {
+        job_id: job.id,
+        priority: job.spec.priority,
+        client: job.spec.client.clone(),
+    });
+}
+
+fn scheduler_loop(state: &Arc<State>, pool: WorkerPool) {
+    loop {
+        state.gate.wait_open();
+        let Some(queued) = state.queue.pop_blocking() else {
+            break;
+        };
+        let Some(job) = state.job(queued.job_id) else {
+            continue;
+        };
+        state.journal.start(job.id);
+        job.set_state(JobState::Running);
+        emit_queue_wait(state, &job);
+        let exec_state = Arc::clone(state);
+        // `submit` blocks when the pool's feed queue is full — that is
+        // fine here: backpressure belongs at the bounded JobQueue, and
+        // the scheduler blocking just leaves jobs queued there.
+        let _ = pool.submit(Box::new(move || execute(&exec_state, &job)));
+    }
+    // Queue closed and drained: wait for in-flight executions, then
+    // release the workers.
+    pool.shutdown();
+}
+
+/// Records the queue-wait span for a job that just left the queue.
+fn emit_queue_wait(state: &Arc<State>, job: &Arc<Job>) {
+    let t = &state.tracer;
+    if !t.enabled(EventKind::Span) {
+        return;
+    }
+    let end_us = t.elapsed_us();
+    let start_us = f64::from_bits(job.queued_at_us.load(Ordering::Relaxed));
+    t.emit(EventKind::Span, || TraceEvent::Span {
+        name: format!("job{}.queue_wait", job.id),
+        start_us,
+        dur_us: (end_us - start_us).max(0.0),
+    });
+}
+
+/// Runs one job on a worker thread with panic isolation.
+fn execute(state: &Arc<State>, job: &Arc<Job>) {
+    let fp = job.fingerprint;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let cached = {
+            let _span = state.tracer.span("job.cache_lookup");
+            runcache::lookup(fp)
+        };
+        if let Some(report) = cached {
+            return report;
+        }
+        let _span = state.tracer.span("job.run");
+        let resolved = job
+            .spec
+            .resolve()
+            .expect("spec resolved at submit; workloads/techniques are static");
+        let sim = Simulator::new(resolved.cfg, &resolved.profiles, &resolved.label).with_observer(
+            Box::new(EventSink {
+                events: Arc::clone(&job.events),
+            }),
+        );
+        let report = sim.run();
+        runcache::insert(fp, &report);
+        report
+    }));
+    match result {
+        Ok(report) => {
+            state.journal.done(job.id);
+            state.counters.completed.fetch_add(1, Ordering::Relaxed);
+            job.set_state(JobState::Done(Box::new(report)));
+        }
+        Err(payload) => {
+            let msg = esteem_par::panic_message(payload.as_ref());
+            state.journal.fail(job.id, &msg);
+            state.counters.failed.fetch_add(1, Ordering::Relaxed);
+            job.set_state(JobState::Failed(msg));
+        }
+    }
+    state
+        .inflight
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&fp);
+    job.events.close();
+}
+
+/// Submit outcome, for the response body.
+enum Submitted {
+    New(u64),
+    Coalesced(u64),
+    Cached(u64),
+}
+
+fn submit(state: &Arc<State>, spec: JobSpec) -> Result<Submitted, (u16, String)> {
+    let resolved = spec.resolve().map_err(|e| {
+        state.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        (400, e)
+    })?;
+    let fp = resolved.fingerprint;
+
+    // Coalesce + enqueue under the inflight lock, so a duplicate either
+    // sees the primary (and coalesces) or races cleanly to be primary.
+    let mut inflight = state.inflight.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&primary) = inflight.get(&fp) {
+        if let Some(job) = state.job(primary) {
+            if !job.state().is_terminal() {
+                job.coalesced.fetch_add(1, Ordering::Relaxed);
+                state.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                state.journal.coalesce(primary);
+                return Ok(Submitted::Coalesced(primary));
+            }
+        }
+        inflight.remove(&fp);
+    }
+
+    // Run-cache hit: the job is born done.
+    if let Some(report) = runcache::lookup(fp) {
+        drop(inflight);
+        let id = state.alloc_id();
+        let job = Arc::new(Job::new(id, spec.clone(), fp));
+        state.journal.submit(id, fp, &spec);
+        state.journal.done(id);
+        job.set_state(JobState::Done(Box::new(report)));
+        job.events.close();
+        state.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        state.counters.cached.fetch_add(1, Ordering::Relaxed);
+        state.counters.completed.fetch_add(1, Ordering::Relaxed);
+        state.add_job(job);
+        return Ok(Submitted::Cached(id));
+    }
+
+    let id = state.alloc_id();
+    let job = Arc::new(Job::new(id, spec.clone(), fp));
+    job.queued_at_us
+        .store(state.tracer.elapsed_us().to_bits(), Ordering::Relaxed);
+    // Publish the job before enqueueing its id: the scheduler may pop
+    // the entry the instant `push` releases the queue lock, and it must
+    // find the job in the table.
+    state.add_job(Arc::clone(&job));
+    match state.queue.push(QueuedJob {
+        job_id: id,
+        priority: spec.priority,
+        client: spec.client.clone(),
+    }) {
+        Ok(()) => {
+            inflight.insert(fp, id);
+            state.journal.submit(id, fp, &spec);
+            state.counters.submitted.fetch_add(1, Ordering::Relaxed);
+            Ok(Submitted::New(id))
+        }
+        Err(PushError::Full) => {
+            state.remove_job(id);
+            state.counters.shed.fetch_add(1, Ordering::Relaxed);
+            Err((429, "queue full".into()))
+        }
+        Err(PushError::Closed) => {
+            state.remove_job(id);
+            Err((503, "daemon is shutting down".into()))
+        }
+    }
+}
+
+fn json_err(status: u16, msg: &str) -> HandlerResult {
+    HandlerResult::Json(
+        status,
+        serde_json::to_string(&Value::Map(vec![("error".into(), Value::Str(msg.into()))]))
+            .expect("serializes"),
+    )
+}
+
+fn job_status_body(job: &Job) -> String {
+    let state = job.state();
+    let mut m: Vec<(String, Value)> = vec![
+        ("job".into(), job.id.to_value()),
+        ("state".into(), Value::Str(state.name().into())),
+        ("workload".into(), Value::Str(job.spec.workload.clone())),
+        (
+            "fingerprint".into(),
+            Value::Str(format!("{:016x}", job.fingerprint)),
+        ),
+        (
+            "coalesced".into(),
+            job.coalesced.load(Ordering::Relaxed).to_value(),
+        ),
+    ];
+    match state {
+        JobState::Done(report) => m.push(("result".into(), report.to_value())),
+        JobState::Failed(err) => m.push(("error".into(), Value::Str(err))),
+        _ => {}
+    }
+    serde_json::to_string(&Value::Map(m)).expect("serializes")
+}
+
+fn metrics_body(state: &State) -> String {
+    let mut r = StatsReading::new();
+    r.register("serve", &state.counters);
+    r.scope("serve", |s| {
+        s.gauge("queue_depth", state.queue.len() as f64);
+        s.gauge(
+            "jobs_tracked",
+            state.jobs.lock().unwrap_or_else(|e| e.into_inner()).len() as f64,
+        );
+    });
+    let cs = runcache::cache_stats();
+    r.scope("runcache", |s| {
+        s.counter("hits", cs.hits);
+        s.counter("misses", cs.misses);
+        s.counter("disk_evictions", cs.disk_evictions);
+        s.gauge("mem_entries", cs.mem_entries as f64);
+    });
+    let hc = state
+        .http_counters
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    if let Some(hc) = hc {
+        r.scope("http", |s| {
+            s.counter("accepted", hc.accepted.load(Ordering::Relaxed));
+            s.counter("requests", hc.requests.load(Ordering::Relaxed));
+            s.counter("responses_2xx", hc.responses_2xx.load(Ordering::Relaxed));
+            s.counter("responses_4xx", hc.responses_4xx.load(Ordering::Relaxed));
+            s.counter("responses_5xx", hc.responses_5xx.load(Ordering::Relaxed));
+            s.counter("parse_errors", hc.parse_errors.load(Ordering::Relaxed));
+        });
+    }
+    r.render_text()
+}
+
+fn make_handler(state: Arc<State>) -> Handler {
+    Arc::new(move |req| {
+        let parts: Vec<&str> = req.path.split('/').filter(|p| !p.is_empty()).collect();
+        match (req.method.as_str(), parts.as_slice()) {
+            ("POST", ["v1", "jobs"]) => {
+                let body = match std::str::from_utf8(&req.body) {
+                    Ok(b) => b,
+                    Err(_) => return json_err(400, "body is not UTF-8"),
+                };
+                let spec: JobSpec = match serde_json::from_str(body) {
+                    Ok(s) => s,
+                    Err(e) => return json_err(400, &format!("bad job spec: {e}")),
+                };
+                match submit(&state, spec) {
+                    Ok(outcome) => {
+                        let (id, coalesced, cached) = match outcome {
+                            Submitted::New(id) => (id, false, false),
+                            Submitted::Coalesced(id) => (id, true, false),
+                            Submitted::Cached(id) => (id, false, true),
+                        };
+                        let body = serde_json::to_string(&Value::Map(vec![
+                            ("job".into(), id.to_value()),
+                            ("coalesced".into(), Value::Bool(coalesced)),
+                            ("cached".into(), Value::Bool(cached)),
+                        ]))
+                        .expect("serializes");
+                        HandlerResult::Json(202, body)
+                    }
+                    Err((status, msg)) => json_err(status, &msg),
+                }
+            }
+            ("GET", ["v1", "jobs", id]) => {
+                match id.parse::<u64>().ok().and_then(|i| state.job(i)) {
+                    Some(job) => HandlerResult::Json(200, job_status_body(&job)),
+                    None => json_err(404, "no such job"),
+                }
+            }
+            ("GET", ["v1", "jobs", id, "events"]) => {
+                match id.parse::<u64>().ok().and_then(|i| state.job(i)) {
+                    Some(job) => HandlerResult::Stream(
+                        200,
+                        Box::new(EventStream::new(Arc::clone(&job.events))),
+                    ),
+                    None => json_err(404, "no such job"),
+                }
+            }
+            ("GET", ["metrics"]) => HandlerResult::Text(200, metrics_body(&state)),
+            ("GET", ["v1", "health"]) => {
+                let body = serde_json::to_string(&Value::Map(vec![
+                    ("ok".into(), Value::Bool(true)),
+                    ("queue_depth".into(), (state.queue.len() as u64).to_value()),
+                ]))
+                .expect("serializes");
+                HandlerResult::Json(200, body)
+            }
+            ("POST", ["v1", "shutdown"]) => {
+                state.request_shutdown();
+                HandlerResult::Json(200, "{\"shutting_down\":true}".into())
+            }
+            ("POST" | "GET", _) => json_err(404, "no such endpoint"),
+            _ => json_err(405, "method not allowed"),
+        }
+    })
+}

@@ -1,0 +1,488 @@
+//! End-to-end tests: a real daemon on an ephemeral port, driven over
+//! real sockets through the client library (and, in one test, through
+//! the actual `esteem-serve`/`esteem-client` binaries).
+//!
+//! Each test runs its own daemon. Specs use per-test seeds so their
+//! run-cache fingerprints never collide across tests (the run cache is
+//! process-global); colliding on purpose is exactly what the dedupe
+//! tests do.
+
+use std::time::Duration;
+
+use esteem_core::Simulator;
+use esteem_serve::{client, spawn, JobSpec, ServerOptions};
+use serde::{map_get, Serialize, Value};
+
+fn opts() -> ServerOptions {
+    ServerOptions {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 8,
+        ..ServerOptions::default()
+    }
+}
+
+fn spec(seed: u64) -> JobSpec {
+    JobSpec {
+        workload: "gamess".into(),
+        instructions: 200_000,
+        seed,
+        ..JobSpec::default()
+    }
+}
+
+#[test]
+fn submit_poll_fetch_matches_cli_path_byte_for_byte() {
+    let daemon = spawn(opts()).unwrap();
+    let addr = daemon.addr().to_string();
+
+    let spec = spec(0xE2E1);
+    let resp = client::submit(&addr, &spec).unwrap();
+    assert!(!resp.coalesced);
+    let result = client::fetch(&addr, resp.job, Duration::from_millis(20)).unwrap();
+    let via_daemon = serde_json::to_string_pretty(&result).unwrap();
+
+    // The CLI path: resolve the same options and run the simulator
+    // directly, printing with the same pretty serializer as
+    // `esteem-sim --json`.
+    let r = spec.resolve().unwrap();
+    let report = Simulator::new(r.cfg, &r.profiles, &r.label).run();
+    let via_cli = serde_json::to_string_pretty(&report.to_value()).unwrap();
+
+    assert_eq!(via_daemon, via_cli, "daemon result must be byte-identical");
+
+    daemon.shutdown();
+    assert!(daemon.wait());
+}
+
+#[test]
+fn duplicate_inflight_submissions_coalesce_to_one_execution() {
+    let daemon = spawn(ServerOptions {
+        start_paused: true,
+        ..opts()
+    })
+    .unwrap();
+    let addr = daemon.addr().to_string();
+
+    let spec = spec(0xE2E2);
+    let first = client::submit(&addr, &spec).unwrap();
+    assert!(!first.coalesced && !first.cached);
+    // Scheduler is paused, so the first submission is still queued:
+    // identical specs must coalesce onto it, not run again.
+    let second = client::submit(&addr, &spec).unwrap();
+    assert!(second.coalesced, "identical in-flight spec must coalesce");
+    assert_eq!(
+        second.job, first.job,
+        "coalesced submit returns the primary id"
+    );
+
+    daemon.resume();
+    let a = client::fetch(&addr, first.job, Duration::from_millis(20)).unwrap();
+    let b = client::fetch(&addr, second.job, Duration::from_millis(20)).unwrap();
+    assert_eq!(a, b);
+
+    // Counters prove a single execution: one coalesce recorded, exactly
+    // one job completed (the primary), nothing else submitted or run.
+    assert_eq!(
+        daemon
+            .counters()
+            .coalesced
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    assert_eq!(
+        daemon
+            .counters()
+            .submitted
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    assert_eq!(
+        daemon
+            .counters()
+            .completed
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn resubmitting_a_finished_config_is_served_from_the_run_cache() {
+    let daemon = spawn(opts()).unwrap();
+    let addr = daemon.addr().to_string();
+    let spec = spec(0xE2E3);
+    let first = client::submit(&addr, &spec).unwrap();
+    client::fetch(&addr, first.job, Duration::from_millis(20)).unwrap();
+    let again = client::submit(&addr, &spec).unwrap();
+    assert!(again.cached, "finished config must be a run-cache hit");
+    assert_ne!(
+        again.job, first.job,
+        "cached submit still gets its own job id"
+    );
+    let (state, _) = client::poll(&addr, again.job).unwrap();
+    assert_eq!(state, "done");
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn panicking_simulation_fails_the_job_but_daemon_keeps_serving() {
+    let daemon = spawn(opts()).unwrap();
+    let addr = daemon.addr().to_string();
+
+    // a_min = 0 violates the configuration invariants; the simulator's
+    // validation panics inside the worker.
+    let bad = JobSpec {
+        a_min: 0,
+        ..spec(0xE2E4)
+    };
+    let resp = client::submit(&addr, &bad).unwrap();
+    let err = client::fetch(&addr, resp.job, Duration::from_millis(20))
+        .expect_err("invalid config must fail the job");
+    assert!(err.contains("failed"), "got: {err}");
+    let (state, v) = client::poll(&addr, resp.job).unwrap();
+    assert_eq!(state, "failed");
+    let error = v
+        .as_map()
+        .and_then(|m| map_get(m, "error").ok())
+        .and_then(|e| e.as_str())
+        .unwrap_or_default()
+        .to_owned();
+    assert!(!error.is_empty(), "failed job must carry the panic message");
+
+    // The daemon survived: a good job on the same daemon completes.
+    let good = client::submit(&addr, &spec(0xE2E5)).unwrap();
+    client::fetch(&addr, good.job, Duration::from_millis(20)).unwrap();
+    assert_eq!(
+        daemon
+            .counters()
+            .failed
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn full_queue_sheds_with_429() {
+    let daemon = spawn(ServerOptions {
+        queue_capacity: 1,
+        start_paused: true,
+        ..opts()
+    })
+    .unwrap();
+    let addr = daemon.addr().to_string();
+    client::submit(&addr, &spec(0xE2E6)).unwrap();
+    let err = client::submit(&addr, &spec(0xE2E7)).expect_err("second submit must shed");
+    assert!(
+        err.contains("429") && err.contains("queue full"),
+        "got: {err}"
+    );
+    assert_eq!(
+        daemon
+            .counters()
+            .shed
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    daemon.resume();
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn events_stream_carries_interval_samples() {
+    let daemon = spawn(opts()).unwrap();
+    let addr = daemon.addr().to_string();
+    // Short reconfiguration interval so a small run still emits several
+    // interval records.
+    let spec = JobSpec {
+        interval: 100_000,
+        instructions: 1_000_000,
+        ..spec(0xE2E8)
+    };
+    let resp = client::submit(&addr, &spec).unwrap();
+    let mut lines = Vec::new();
+    let status = client::stream_lines(&addr, &format!("/v1/jobs/{}/events", resp.job), |l| {
+        lines.push(l.to_owned());
+    })
+    .unwrap();
+    assert_eq!(status, 200);
+    assert!(!lines.is_empty(), "expected at least one interval sample");
+    for line in &lines {
+        let v: Value = serde_json::from_str(line).unwrap();
+        let m = v.as_map().expect("sample is an object");
+        assert!(map_get(m, "cycle").is_ok() && map_get(m, "refreshes").is_ok());
+    }
+    // The stream ended because the job finished.
+    let (state, _) = client::poll(&addr, resp.job).unwrap();
+    assert_eq!(state, "done");
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn metrics_exposes_serve_runcache_and_http_counters() {
+    let daemon = spawn(opts()).unwrap();
+    let addr = daemon.addr().to_string();
+    let resp = client::submit(&addr, &spec(0xE2E9)).unwrap();
+    client::fetch(&addr, resp.job, Duration::from_millis(20)).unwrap();
+    let text = client::metrics(&addr).unwrap();
+    for needle in [
+        "serve/jobs_submitted 1",
+        "serve/jobs_completed 1",
+        "serve/queue_depth",
+        "runcache/hits",
+        "runcache/misses",
+        "http/requests",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn trace_spans_cover_queue_wait_cache_and_run() {
+    use esteem_trace::TraceEvent;
+    let daemon = spawn(opts()).unwrap();
+    let addr = daemon.addr().to_string();
+    let resp = client::submit(&addr, &spec(0xE2EA)).unwrap();
+    client::fetch(&addr, resp.job, Duration::from_millis(20)).unwrap();
+    let names: Vec<String> = daemon
+        .trace_events()
+        .into_iter()
+        .filter_map(|e| match e {
+            TraceEvent::Span { name, .. } => Some(name),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        names.iter().any(|n| n.ends_with("queue_wait")),
+        "queue-wait span missing: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "job.cache_lookup"),
+        "cache-lookup span missing: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "job.run"),
+        "run span missing: {names:?}"
+    );
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn journal_recovery_restores_done_jobs_and_requeues_unfinished() {
+    let dir = std::env::temp_dir().join(format!("esteem-e2e-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("journal.jsonl");
+
+    // First daemon: complete one job, then shut down.
+    let done_spec = spec(0xE2EB);
+    let first_id = {
+        let daemon = spawn(ServerOptions {
+            journal_path: Some(journal.clone()),
+            ..opts()
+        })
+        .unwrap();
+        let addr = daemon.addr().to_string();
+        let resp = client::submit(&addr, &done_spec).unwrap();
+        client::fetch(&addr, resp.job, Duration::from_millis(20)).unwrap();
+        daemon.shutdown();
+        daemon.wait();
+        resp.job
+    };
+
+    // Simulate a crash with one accepted-but-unfinished job: append its
+    // submit record by hand (as a crashed daemon would have left it).
+    let unfinished_spec = spec(0xE2EC);
+    let unfinished_id = first_id + 10;
+    {
+        let j = esteem_serve::Journal::open(&journal).unwrap();
+        let fp = unfinished_spec.resolve().unwrap().fingerprint;
+        j.submit(unfinished_id, fp, &unfinished_spec);
+        j.start(unfinished_id);
+    }
+
+    // Second daemon on the same journal: the done job is restored, the
+    // unfinished one is re-queued and runs to completion.
+    let daemon = spawn(ServerOptions {
+        journal_path: Some(journal.clone()),
+        ..opts()
+    })
+    .unwrap();
+    let addr = daemon.addr().to_string();
+    assert!(
+        daemon
+            .counters()
+            .recovered
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 2
+    );
+    let (state, v) = client::poll(&addr, first_id).unwrap();
+    assert_eq!(state, "done", "finished job must survive the restart");
+    assert!(
+        v.as_map()
+            .map(|m| map_get(m, "result").is_ok())
+            .unwrap_or(false),
+        "restored job must carry its result"
+    );
+    let recovered = client::fetch(&addr, unfinished_id, Duration::from_millis(20)).unwrap();
+    let expected = {
+        let r = unfinished_spec.resolve().unwrap();
+        Simulator::new(r.cfg, &r.profiles, &r.label)
+            .run()
+            .to_value()
+    };
+    assert_eq!(
+        serde_json::to_string(&recovered).unwrap(),
+        serde_json::to_string(&expected).unwrap(),
+        "re-run recovered job reproduces the identical report"
+    );
+    daemon.shutdown();
+    daemon.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_specs_and_bad_routes_get_clean_errors() {
+    let daemon = spawn(opts()).unwrap();
+    let addr = daemon.addr().to_string();
+    // Unknown workload.
+    let err = client::submit(
+        &addr,
+        &JobSpec {
+            workload: "not-a-benchmark".into(),
+            ..JobSpec::default()
+        },
+    )
+    .expect_err("unknown workload rejected");
+    assert!(err.contains("400"), "got: {err}");
+    // Unknown field in the spec body.
+    let (status, body) = client::request(
+        &addr,
+        "POST",
+        "/v1/jobs",
+        Some("{\"workload\":\"gamess\",\"retentoin_us\":40}"),
+    )
+    .unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("retentoin_us"), "got: {body}");
+    // Unknown job id and unknown route.
+    let (status, _) = client::request(&addr, "GET", "/v1/jobs/999999", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client::request(&addr, "GET", "/v1/nope", None).unwrap();
+    assert_eq!(status, 404);
+    // Wrong method.
+    let (status, _) = client::request(&addr, "PUT", "/v1/jobs", None).unwrap();
+    assert_eq!(status, 405);
+    assert_eq!(
+        daemon
+            .counters()
+            .rejected
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    daemon.shutdown();
+    daemon.wait();
+}
+
+/// The real binaries, end to end: daemon process on an ephemeral port,
+/// driven by `esteem-client` submit/poll/fetch/shutdown.
+#[test]
+fn daemon_and_client_binaries_round_trip() {
+    use std::io::BufRead;
+    use std::process::{Command, Stdio};
+
+    let dir = std::env::temp_dir().join(format!("esteem-e2e-bin-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("journal.jsonl");
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_esteem-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--journal",
+            journal.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut line = String::new();
+    std::io::BufReader::new(daemon.stdout.take().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected daemon banner: {line:?}"))
+        .to_owned();
+
+    let client_bin = env!("CARGO_BIN_EXE_esteem-client");
+    let run = |args: &[&str]| {
+        let out = Command::new(client_bin)
+            .arg(&addr)
+            .args(args)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "esteem-client {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    let submitted = run(&[
+        "submit",
+        "--instructions",
+        "200000",
+        "--seed",
+        "60910",
+        "gamess",
+    ]);
+    let id = submitted
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or_else(|| panic!("unexpected submit output: {submitted:?}"))
+        .to_owned();
+    let fetched = run(&["fetch", &id]);
+
+    // Byte-identity with the CLI path, via the same serializer.
+    let expected = {
+        let spec = JobSpec {
+            workload: "gamess".into(),
+            instructions: 200_000,
+            seed: 60910,
+            ..JobSpec::default()
+        };
+        let r = spec.resolve().unwrap();
+        let report = Simulator::new(r.cfg, &r.profiles, &r.label).run();
+        serde_json::to_string_pretty(&report.to_value()).unwrap()
+    };
+    assert_eq!(fetched.trim_end(), expected);
+
+    let metrics = run(&["metrics"]);
+    assert!(
+        metrics.contains("serve/jobs_submitted 1"),
+        "got:\n{metrics}"
+    );
+
+    run(&["shutdown"]);
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "daemon exit: {status:?}");
+    // The journal artifact exists and records the whole lifecycle.
+    let journal_text = std::fs::read_to_string(&journal).unwrap();
+    assert!(journal_text.contains("\"submit\"") && journal_text.contains("\"done\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -86,6 +86,24 @@ impl StatsReading {
         self.values.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Renders the reading as plain text, one `path value` line per
+    /// stat in path order (the `/metrics` wire format of the
+    /// `esteem-serve` daemon). Gauges print with shortest-round-trip
+    /// formatting, so parsing the line back recovers the exact value.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (path, value) in self.iter() {
+            match value {
+                StatValue::Counter(c) => writeln!(out, "{path} {c}"),
+                StatValue::Gauge(g) => writeln!(out, "{path} {g:?}"),
+                StatValue::Weighted(w) => writeln!(out, "{path} {w}"),
+            }
+            .expect("writing to String cannot fail");
+        }
+        out
+    }
+
     /// `self - base`, per path: counters and weighted integrals subtract
     /// (saturating — a component reset mid-run must not wrap), gauges
     /// pass through unchanged. Paths missing from `base` subtract zero.
@@ -217,6 +235,27 @@ mod tests {
         assert_eq!(r.counter("missing/path"), 0);
         let paths: Vec<&str> = r.iter().map(|(k, _)| k).collect();
         assert!(paths.windows(2).all(|w| w[0] < w[1]), "ordered iteration");
+    }
+
+    #[test]
+    fn render_text_is_ordered_and_parseable() {
+        let mut r = StatsReading::new();
+        r.register("l2", &Fake { hits: 7 });
+        r.scope("jobs", |s| s.counter("submitted", 3));
+        let text = r.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "jobs/submitted 3",
+                "l2/busy 70",
+                "l2/hits 7",
+                "l2/occupancy 0.5"
+            ]
+        );
+        // Gauge lines round-trip through parse.
+        let g: f64 = lines[3].rsplit(' ').next().unwrap().parse().unwrap();
+        assert_eq!(g, 0.5);
     }
 
     #[test]

@@ -15,10 +15,16 @@
 //! * [`energy`] — the paper's §6.3 energy model and §6.4 metrics;
 //! * [`stats`] — typed counters, the hierarchical stats registry with
 //!   warm-up delta handling, and per-interval observers (JSONL logs);
+//! * [`trace`] — ring-buffered event tracing, Perfetto export, and the
+//!   offline analyzer;
 //! * [`core`] — ESTEEM itself (Algorithm 1 + interval engine) and the
 //!   multicore system simulator;
-//! * [`par`] — deterministic order-preserving parallel sweeps;
-//! * [`harness`] — regenerators for every table and figure.
+//! * [`par`] — deterministic order-preserving parallel sweeps and the
+//!   long-lived worker pool behind the daemon;
+//! * [`harness`] — regenerators for every table and figure;
+//! * [`serve`] — the `esteem-serve` job daemon (HTTP API, bounded
+//!   priority queue, run-cache dedupe, crash-safe journal) and its
+//!   client library.
 //!
 //! ## Quickstart
 //!
@@ -42,5 +48,7 @@ pub use esteem_energy as energy;
 pub use esteem_harness as harness;
 pub use esteem_mem as mem;
 pub use esteem_par as par;
+pub use esteem_serve as serve;
 pub use esteem_stats as stats;
+pub use esteem_trace as trace;
 pub use esteem_workloads as workloads;
