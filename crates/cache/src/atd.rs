@@ -20,18 +20,26 @@ pub struct AtdCounters {
 }
 
 impl AtdCounters {
+    /// `leader_stride` is the paper's `R_s`; `None` means the cache has no
+    /// leader sampling at all (the L1s), so every module reports zero
+    /// leaders. (A sentinel stride would wrongly count set 0 as a leader
+    /// and make `module_has_leaders(0)` claim profiling data that never
+    /// arrives — found by the differential checker, see `crates/check`.)
     pub fn new(
         modules: u16,
         ways: u8,
         sets: u32,
         sets_per_module: u32,
-        leader_stride: u32,
+        leader_stride: Option<u32>,
     ) -> Self {
         let mut leaders_per_module = vec![0u32; modules as usize];
-        let mut set = 0;
-        while set < sets {
-            leaders_per_module[(set / sets_per_module) as usize] += 1;
-            set += leader_stride;
+        if let Some(stride) = leader_stride {
+            assert!(stride >= 1, "leader stride must be >= 1");
+            let mut set = 0;
+            while set < sets {
+                leaders_per_module[(set / sets_per_module) as usize] += 1;
+                set += stride;
+            }
         }
         Self {
             modules,
@@ -95,7 +103,7 @@ mod tests {
     fn leader_distribution_paper_defaults() {
         // 4MB L2: 4096 sets, 8 modules (single-core default), R_s = 64
         // => 64 leader sets, 8 per module.
-        let atd = AtdCounters::new(8, 16, 4096, 512, 64);
+        let atd = AtdCounters::new(8, 16, 4096, 512, Some(64));
         for m in 0..8 {
             assert_eq!(atd.leaders_in_module(m), 8);
             assert!(atd.module_has_leaders(m));
@@ -105,7 +113,7 @@ mod tests {
     #[test]
     fn one_leader_per_module_edge() {
         // 32 modules, R_s = 128, 4096 sets: 32 leaders, 1 per module.
-        let atd = AtdCounters::new(32, 16, 4096, 128, 128);
+        let atd = AtdCounters::new(32, 16, 4096, 128, Some(128));
         for m in 0..32 {
             assert_eq!(atd.leaders_in_module(m), 1);
         }
@@ -114,7 +122,7 @@ mod tests {
     #[test]
     fn leaderless_modules_detected() {
         // R_s = 256 with 64-set modules: only every 4th module has a leader.
-        let atd = AtdCounters::new(64, 16, 4096, 64, 256);
+        let atd = AtdCounters::new(64, 16, 4096, 64, Some(256));
         let with: u32 = (0..64).map(|m| u32::from(atd.module_has_leaders(m))).sum();
         assert_eq!(with, 16);
         assert!(atd.module_has_leaders(0));
@@ -123,7 +131,7 @@ mod tests {
 
     #[test]
     fn record_and_reset() {
-        let mut atd = AtdCounters::new(2, 4, 64, 32, 16);
+        let mut atd = AtdCounters::new(2, 4, 64, 32, Some(16));
         atd.record_hit(0, 0);
         atd.record_hit(0, 0);
         atd.record_hit(1, 3);
@@ -132,5 +140,18 @@ mod tests {
         assert_eq!(atd.global_hits(), vec![2, 0, 0, 1]);
         atd.reset();
         assert_eq!(atd.global_hits(), vec![0, 0, 0, 0]);
+    }
+
+    /// Regression (differential checker, repro `div-0-1`): with no leader
+    /// stride there are no leader sets anywhere — module 0 used to report
+    /// one phantom leader because the sentinel `u32::MAX` stride still
+    /// counted set 0.
+    #[test]
+    fn no_stride_means_no_leaders() {
+        let atd = AtdCounters::new(4, 4, 64, 16, None);
+        for m in 0..4 {
+            assert_eq!(atd.leaders_in_module(m), 0);
+            assert!(!atd.module_has_leaders(m));
+        }
     }
 }

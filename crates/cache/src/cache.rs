@@ -122,7 +122,7 @@ impl SetAssocCache {
             geom.ways,
             geom.sets,
             geom.sets_per_module(),
-            leader_stride.unwrap_or(u32::MAX),
+            leader_stride,
         );
         let leader_rule = match leader_stride {
             None => LeaderRule::None,
@@ -232,6 +232,12 @@ impl SetAssocCache {
                 if self.track_retention {
                     self.last_update[base + way as usize] = now;
                 }
+                #[cfg(feature = "strict-invariants")]
+                {
+                    assert_eq!(leader, self.is_leader(set), "leader rule split-brain");
+                    assert_eq!(module, g.module_of(set), "hit credited to wrong module");
+                    self.assert_set_invariants(set);
+                }
                 return AccessOutcome {
                     hit: true,
                     hit_pos: pos,
@@ -284,6 +290,12 @@ impl SetAssocCache {
         }
         self.order.touch(set_idx, victim);
 
+        #[cfg(feature = "strict-invariants")]
+        {
+            assert!(mask & vbit != 0, "victim way {victim} is not enabled");
+            self.assert_set_invariants(set);
+        }
+
         AccessOutcome {
             hit: false,
             hit_pos: 0,
@@ -328,6 +340,8 @@ impl SetAssocCache {
         if old == new_ways {
             return ReconfigOutcome::default();
         }
+        #[cfg(feature = "strict-invariants")]
+        let valid_before = self.valid_lines;
         let g = self.geom;
         let spm = g.sets_per_module();
         let first_set = u32::from(m) * spm;
@@ -367,6 +381,17 @@ impl SetAssocCache {
             self.active_slots -= slots_delta;
         }
         self.module_ways[m as usize] = new_ways;
+        #[cfg(feature = "strict-invariants")]
+        {
+            // Dirty-writeback conservation: every valid line lost to the
+            // shrink is accounted as exactly one write-back or discard.
+            assert_eq!(
+                valid_before - self.valid_lines,
+                out.writebacks + out.discards,
+                "reconfiguration flush conservation"
+            );
+            self.assert_invariants();
+        }
         out
     }
 
@@ -468,6 +493,109 @@ impl SetAssocCache {
             .iter()
             .map(|b| u64::from(b.valid.count_ones()))
             .sum()
+    }
+
+    /// Full structural self-check (`O(sets * ways)`): every incremental
+    /// counter agrees with a recount, every set satisfies
+    /// [`Self::assert_set_invariants`]-style local invariants, and the ATD
+    /// leader bookkeeping matches the leader rule. Panics on violation.
+    ///
+    /// Called by the differential checker after every refresh advance and,
+    /// under the `strict-invariants` feature, after every reconfiguration.
+    #[doc(hidden)]
+    pub fn assert_invariants(&self) {
+        let g = self.geom;
+        let mut valid_total = 0u64;
+        let mut per_bank = vec![0u64; g.banks as usize];
+        let mut slots = 0u64;
+        let mut leaders = vec![0u32; g.modules as usize];
+        for set in 0..g.sets {
+            let set_idx = set as usize;
+            let mask = self.mask_for_set(set);
+            slots += u64::from(mask.count_ones());
+            if self.is_leader(set) {
+                leaders[g.module_of(set) as usize] += 1;
+            }
+            let b = self.bits[set_idx];
+            assert_eq!(
+                b.valid & !mask,
+                0,
+                "set {set}: valid line in a disabled way"
+            );
+            assert_eq!(
+                b.dirty & !b.valid,
+                0,
+                "set {set}: dirty bit on an invalid line"
+            );
+            valid_total += u64::from(b.valid.count_ones());
+            per_bank[g.bank_of(set) as usize] += u64::from(b.valid.count_ones());
+            // The LRU order is a permutation of the physical ways.
+            let mut seen = 0u64;
+            for way in 0..g.ways {
+                let p = self.order.position_of(set_idx, way);
+                assert!(p < g.ways, "set {set}: way {way} at position {p} >= A");
+                assert_eq!(
+                    seen & (1u64 << p),
+                    0,
+                    "set {set}: LRU position {p} duplicated"
+                );
+                seen |= 1u64 << p;
+            }
+        }
+        assert_eq!(valid_total, self.valid_lines, "valid-line counter drift");
+        assert_eq!(
+            per_bank, self.valid_per_bank,
+            "per-bank valid counter drift"
+        );
+        assert_eq!(slots, self.active_slots, "active-slot counter drift");
+        for (m, &w) in self.module_ways.iter().enumerate() {
+            assert!(
+                (1..=g.ways).contains(&w),
+                "module {m}: {w} ways out of 1..=A"
+            );
+        }
+        for m in 0..g.modules {
+            assert_eq!(
+                self.atd.leaders_in_module(m),
+                leaders[m as usize],
+                "module {m}: ATD leader count disagrees with the leader rule"
+            );
+        }
+    }
+
+    /// One set's local invariants, checked after every mutation under the
+    /// `strict-invariants` feature: the LRU order is a permutation of the
+    /// physical ways, no disabled way holds a valid line, dirty implies
+    /// valid.
+    #[cfg(feature = "strict-invariants")]
+    fn assert_set_invariants(&self, set: u32) {
+        let set_idx = set as usize;
+        let mask = self.mask_for_set(set);
+        let b = self.bits[set_idx];
+        assert_eq!(
+            b.valid & !mask,
+            0,
+            "set {set}: valid line in a disabled way"
+        );
+        assert_eq!(
+            b.dirty & !b.valid,
+            0,
+            "set {set}: dirty bit on an invalid line"
+        );
+        let mut seen = 0u64;
+        for way in 0..self.geom.ways {
+            let p = self.order.position_of(set_idx, way);
+            assert!(
+                p < self.geom.ways,
+                "set {set}: way {way} at position {p} >= A"
+            );
+            assert_eq!(
+                seen & (1u64 << p),
+                0,
+                "set {set}: LRU position {p} duplicated"
+            );
+            seen |= 1u64 << p;
+        }
     }
 }
 
@@ -640,6 +768,65 @@ mod tests {
             .map(|mm| c.atd.module_hits(mm).iter().sum::<u64>())
             .sum();
         assert_eq!(sum, 1);
+    }
+
+    /// `R_s = 1`: every set is a leader, so reconfiguration has nothing
+    /// to act on — no flushes, no slot transitions, and every module
+    /// reports a full complement of leaders.
+    #[test]
+    fn all_leader_stride_makes_reconfig_a_noop() {
+        let g = CacheGeometry::from_capacity(16 << 10, 4, 64, 2, 4);
+        let mut c = SetAssocCache::new(g, Some(1));
+        for t in 0..32u64 {
+            c.access(blk(&c, (t % 64) as u32, t), true, t);
+        }
+        let before = c.valid_lines();
+        let out = c.set_module_active_ways(1, 1, 100);
+        assert_eq!(out.writebacks, 0);
+        assert_eq!(out.discards, 0);
+        assert_eq!(out.slot_transitions, 0, "no follower sets to transition");
+        assert_eq!(c.valid_lines(), before, "leader contents untouched");
+        assert_eq!(c.active_fraction(), 1.0, "all-leader cache never shrinks");
+        for m in 0..4 {
+            assert_eq!(c.atd.leaders_in_module(m), g.sets_per_module());
+        }
+    }
+
+    /// `R_s` larger than the set count leaves exactly one leader (set 0,
+    /// in module 0); every other module must report zero leaders and fall
+    /// back to the global profile.
+    #[test]
+    fn stride_beyond_sets_leaves_single_leader() {
+        let g = CacheGeometry::from_capacity(16 << 10, 4, 64, 2, 4);
+        let c = SetAssocCache::new(g, Some(1000));
+        assert!(c.is_leader(0));
+        assert_eq!((1..64).filter(|&s| c.is_leader(s)).count(), 0);
+        assert_eq!(c.atd.leaders_in_module(0), 1);
+        assert!(c.atd.module_has_leaders(0));
+        for m in 1..4 {
+            assert_eq!(c.atd.leaders_in_module(m), 0);
+            assert!(!c.atd.module_has_leaders(m));
+        }
+    }
+
+    /// A leader hit is credited to the module that *owns* the leader set,
+    /// not to module 0 (checked here on the last module's leader).
+    #[test]
+    fn leader_hit_credits_owning_module() {
+        let mut c = small();
+        // Sets 48..64 belong to module 3; set 56 is a leader (stride 8).
+        let set = 56;
+        assert!(c.is_leader(set));
+        assert_eq!(c.geometry().module_of(set), 3);
+        let b = blk(&c, set, 7);
+        c.access(b, false, 0);
+        let r = c.access(b, false, 1);
+        assert!(r.hit && r.leader);
+        assert_eq!(c.atd.module_hits(3)[0], 1);
+        for m in 0..3 {
+            assert_eq!(c.atd.module_hits(m).iter().sum::<u64>(), 0);
+        }
+        assert_eq!(c.atd.global_hits()[0], 1);
     }
 
     #[test]

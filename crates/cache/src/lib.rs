@@ -20,6 +20,44 @@
 //! contention, refresh interference) lives in `esteem-edram`, and *energy*
 //! in `esteem-energy`, keeping each concern independently testable.
 
+/// Internal-invariant assertion: a `debug_assert!` in normal builds,
+/// promoted to an unconditional `assert!` when the expanding crate is
+/// built with its `strict-invariants` feature (the configuration the
+/// differential checker `esteem-check` runs under).
+///
+/// The `cfg` is evaluated at the *expansion site*, so downstream crates
+/// (`esteem-edram`, `esteem-core`) declare a `strict-invariants` feature
+/// of their own — forwarding to this crate's — and get the promotion for
+/// their assertions independently.
+#[macro_export]
+macro_rules! strict_assert {
+    ($($arg:tt)*) => {{
+        #[cfg(feature = "strict-invariants")]
+        {
+            assert!($($arg)*);
+        }
+        #[cfg(not(feature = "strict-invariants"))]
+        {
+            debug_assert!($($arg)*);
+        }
+    }};
+}
+
+/// Equality flavour of [`strict_assert!`].
+#[macro_export]
+macro_rules! strict_assert_eq {
+    ($($arg:tt)*) => {{
+        #[cfg(feature = "strict-invariants")]
+        {
+            assert_eq!($($arg)*);
+        }
+        #[cfg(not(feature = "strict-invariants"))]
+        {
+            debug_assert_eq!($($arg)*);
+        }
+    }};
+}
+
 pub mod atd;
 pub mod cache;
 pub mod config;

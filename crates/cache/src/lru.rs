@@ -78,7 +78,7 @@ const NIB_HIGH: u64 = 0x8888_8888_8888_8888;
 fn packed_position_of(word: u64, way: u8) -> u8 {
     let x = word ^ (NIB_ONES * u64::from(way));
     let flags = x.wrapping_sub(NIB_ONES) & !x & NIB_HIGH;
-    debug_assert!(flags != 0, "way {way} missing from packed order {word:#x}");
+    crate::strict_assert!(flags != 0, "way {way} missing from packed order {word:#x}");
     (flags.trailing_zeros() / 4) as u8
 }
 

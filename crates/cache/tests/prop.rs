@@ -78,6 +78,70 @@ proptest! {
         }
     }
 
+    /// Grow-path reconfiguration (the `esteem-check` differential fuzzer
+    /// drives this path; pinned here as a direct property): ways
+    /// re-enabled by growing a module come back *empty* — turn-off
+    /// invalidated them and nothing may resurrect stale contents — and
+    /// the next miss in each grown follower set refills an empty way
+    /// without evicting any line that survived the shrink.
+    #[test]
+    fn grow_reenables_empty_ways_and_refills_before_evicting(
+        blocks in proptest::collection::vec(0u64..2_000, 50..300),
+        shrink_to in 1u8..=4,
+        module in 0u16..4,
+    ) {
+        let g = CacheGeometry::from_capacity(32 << 10, 8, 64, 2, 4);
+        let mut c = SetAssocCache::new(g, Some(16));
+        let mut now = 0u64;
+        for &b in &blocks {
+            now += 1;
+            c.access(b, true, now);
+        }
+        // Shrink, then grow straight back to full associativity.
+        c.set_module_active_ways(module, shrink_to, now);
+        let grow = c.set_module_active_ways(module, 8, now);
+        // Growing never flushes anything...
+        prop_assert_eq!(grow.writebacks, 0);
+        prop_assert_eq!(grow.discards, 0);
+        // ...but it does transition the re-enabled slots of follower sets.
+        let spm = g.sets_per_module();
+        let first_set = u32::from(module) * spm;
+        let followers: Vec<u32> =
+            (first_set..first_set + spm).filter(|&s| !c.is_leader(s)).collect();
+        prop_assert_eq!(
+            grow.slot_transitions,
+            u64::from(8 - shrink_to) * followers.len() as u64
+        );
+        // Every re-enabled way of every follower set is empty, and the
+        // full mask is active again.
+        for &set in &followers {
+            prop_assert_eq!(c.mask_for_set(set), (1u64 << 8) - 1);
+            for way in shrink_to..8 {
+                prop_assert!(
+                    !c.line(set, way).valid,
+                    "stale line resurrected in re-enabled way {way} of set {set}"
+                );
+            }
+        }
+        prop_assert_eq!(c.valid_lines(), c.recount_valid());
+        // One fresh miss per follower set lands in an empty (re-enabled)
+        // way without evicting a shrink survivor.
+        for &set in &followers {
+            now += 1;
+            let fresh = g.block_of(0xBEEF + now, set);
+            let out = c.access(fresh, false, now);
+            prop_assert_eq!(out.set, set);
+            prop_assert!(!out.hit);
+            prop_assert!(
+                !out.evicted_valid,
+                "miss in set {set} evicted a survivor despite {} empty ways",
+                8 - shrink_to
+            );
+            prop_assert!(out.writeback.is_none());
+        }
+        prop_assert_eq!(c.valid_lines(), c.recount_valid());
+    }
+
     /// A hit always returns the same data identity (tag round trip): after
     /// accessing block B, probing B succeeds until B's way is disabled or
     /// B is evicted by associativity pressure in its own set.

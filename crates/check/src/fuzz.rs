@@ -1,0 +1,196 @@
+//! Deterministic, seeded generation of random configurations and
+//! operation streams for the lockstep checker.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::oracle::{CaseConfig, CheckPolicy};
+
+/// One operation of a lockstep run. Cycle time is carried as *deltas* so
+/// the minimizer can drop ops without invalidating later timestamps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Advance the clock by `dcycles`, then perform one demand access.
+    Access {
+        block: u64,
+        write: bool,
+        dcycles: u64,
+    },
+    /// Reconfigure one module to `ways` active ways.
+    Reconfig { module: u16, ways: u8 },
+    /// Advance the clock by `dcycles` and drain due refreshes up to the
+    /// new time (the simulator's quantum boundary), then compare the full
+    /// state of both models.
+    Advance { dcycles: u64 },
+}
+
+/// A complete self-contained checker case.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Case {
+    pub config: CaseConfig,
+    pub ops: Vec<Op>,
+}
+
+/// RNG for case `index` of a run seeded with `seed`: every case is
+/// independently reproducible from `(seed, index)`.
+pub fn case_rng(seed: u64, index: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Generates one random case. Geometry honours the `CacheGeometry`
+/// invariants (power-of-two sets, modules and banks dividing sets);
+/// everything else — associativity (including non-power-of-two and
+/// wide-LRU counts), leader strides (power-of-two and not, larger than
+/// the set count, or absent), phase counts, retention periods — is drawn
+/// broadly to reach representation corners.
+pub fn gen_case(rng: &mut SmallRng) -> Case {
+    let sets: u32 = 1 << rng.gen_range(3u32..=7);
+    let ways: u8 = *pick(rng, &[1, 2, 3, 4, 4, 5, 7, 8, 8, 12, 16, 17, 20]);
+    let modules: u16 = std::cmp::min(1 << rng.gen_range(0u16..=3), sets as u16);
+    let banks: u8 = *pick(rng, &[1, 2, 4]);
+    let leader_stride = if rng.gen_bool(0.25) {
+        None
+    } else {
+        Some(*pick(rng, &[1u32, 2, 3, 4, 5, 7, 8, 16, 64, 257]))
+    };
+    let policy = *pick(
+        rng,
+        &[
+            CheckPolicy::PeriodicAll,
+            CheckPolicy::PeriodicValid,
+            CheckPolicy::PolyphaseValid,
+            CheckPolicy::PolyphaseValid,
+            CheckPolicy::PolyphaseDirty,
+            CheckPolicy::PolyphaseDirty,
+        ],
+    );
+    let phases: u8 = if policy.is_polyphase() {
+        rng.gen_range(1u8..=6)
+    } else {
+        1
+    };
+    let phase_len: u64 = rng.gen_range(10u64..=1000);
+    let retention = phase_len * u64::from(phases);
+    let config = CaseConfig {
+        sets,
+        ways,
+        banks,
+        modules,
+        leader_stride,
+        policy,
+        retention,
+        phases,
+    };
+
+    let n_ops = rng.gen_range(1usize..=160);
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        let roll = rng.gen_range(0u32..100);
+        if roll < 70 {
+            // Small tag space so sets refill, collide, and evict.
+            let set = rng.gen_range(0u32..sets);
+            let tag = rng.gen_range(0u64..=u64::from(ways) * 2 + 2);
+            ops.push(Op::Access {
+                block: tag * u64::from(sets) + u64::from(set),
+                write: rng.gen_bool(0.3),
+                dcycles: gen_dcycles(rng, phase_len, retention),
+            });
+        } else if roll < 85 {
+            ops.push(Op::Advance {
+                dcycles: gen_dcycles(rng, phase_len, retention),
+            });
+        } else {
+            ops.push(Op::Reconfig {
+                module: rng.gen_range(0u16..modules),
+                ways: rng.gen_range(1u8..=ways),
+            });
+        }
+    }
+    Case { config, ops }
+}
+
+/// Clock-advance distribution: mostly sub-phase steps, sometimes a few
+/// periods, occasionally a jump of many retention periods — the latter is
+/// what exercises calendar-ring wraparound in the polyphase scheduler.
+fn gen_dcycles(rng: &mut SmallRng, phase_len: u64, retention: u64) -> u64 {
+    let roll = rng.gen_range(0u32..100);
+    if roll < 75 {
+        rng.gen_range(0u64..=phase_len)
+    } else if roll < 95 {
+        rng.gen_range(0u64..=retention * 2)
+    } else {
+        rng.gen_range(retention * 4..=retention * 24)
+    }
+}
+
+/// Fuzzed input for the Algorithm 1 differential check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Algo1Case {
+    pub hits: Vec<u64>,
+    pub alpha: f64,
+    pub a_min: u8,
+    pub non_lru_guard: bool,
+}
+
+/// Generates one Algorithm 1 input: a per-LRU-position hit histogram with
+/// a mix of monotone, noisy, and adversarially anti-recency shapes, plus
+/// an `A_min` drawn over the full `1..=A` range (including `A_min == A`,
+/// where the floor must still dominate the non-LRU clamp).
+pub fn gen_algo1_case(rng: &mut SmallRng) -> Algo1Case {
+    let a = rng.gen_range(1usize..=20);
+    let shape = rng.gen_range(0u32..3);
+    let hits: Vec<u64> = (0..a)
+        .map(|i| match shape {
+            // Decaying (LRU-friendly) with noise.
+            0 => rng.gen_range(0u64..=2000) >> i.min(20),
+            // Flat noise.
+            1 => rng.gen_range(0u64..=300),
+            // Anti-recency ramp (non-LRU): deep positions get the hits.
+            _ => rng.gen_range(0u64..=50) + (i as u64) * rng.gen_range(0u64..=200),
+        })
+        .collect();
+    Algo1Case {
+        hits,
+        alpha: *pick(rng, &[0.5, 0.8, 0.9, 0.95, 0.97, 0.99]),
+        a_min: rng.gen_range(1u8..=a as u8),
+        non_lru_guard: rng.gen_bool(0.8),
+    }
+}
+
+fn pick<'a, T>(rng: &mut SmallRng, xs: &'a [T]) -> &'a T {
+    &xs[rng.gen_range(0usize..xs.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_case(&mut case_rng(7, 3));
+        let b = gen_case(&mut case_rng(7, 3));
+        assert_eq!(a, b);
+        let c = gen_case(&mut case_rng(7, 4));
+        assert_ne!(a, c, "different case index must vary the stream");
+    }
+
+    #[test]
+    fn generated_configs_are_valid() {
+        for i in 0..200 {
+            let case = gen_case(&mut case_rng(0, i));
+            let c = &case.config;
+            assert!(c.sets.is_power_of_two());
+            assert!(c.sets.is_multiple_of(u32::from(c.modules)));
+            assert!(c.sets.is_multiple_of(u32::from(c.banks)));
+            assert!((1..=64).contains(&c.ways));
+            assert!(c.retention.is_multiple_of(u64::from(c.phases)));
+            for op in &case.ops {
+                if let Op::Reconfig { module, ways } = op {
+                    assert!(*module < c.modules);
+                    assert!((1..=c.ways).contains(ways));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Shrinks a divergent case to a short reproducer.
+//!
+//! Classic ddmin over the op list (chunk removal at halving granularity),
+//! followed by per-op simplification (zeroing clock deltas, turning writes
+//! into reads) and config shrinking (halving sets/modules, dropping banks
+//! to one, removing leader sampling, reducing associativity). A candidate
+//! is accepted iff it still diverges — on *any* observable, not
+//! necessarily the original one: a shifted first-divergence is still the
+//! same underlying bug viewed earlier, and accepting it shrinks harder.
+
+use crate::fuzz::{Case, Op};
+use crate::lockstep::run_case;
+use crate::oracle::CaseConfig;
+use crate::Divergence;
+
+/// Minimizes `case` (which must diverge). Returns the reduced case and
+/// the divergence it produces.
+pub fn minimize(case: &Case) -> (Case, Divergence) {
+    let mut best = case.clone();
+    let mut div = run_case(&best).expect("minimize() requires a divergent case");
+
+    loop {
+        let before = (best.ops.len(), size_of_config(&best.config));
+
+        ddmin_ops(&mut best, &mut div);
+        simplify_ops(&mut best, &mut div);
+        shrink_config(&mut best, &mut div);
+
+        if (best.ops.len(), size_of_config(&best.config)) == before {
+            break;
+        }
+    }
+    (best, div)
+}
+
+fn size_of_config(c: &CaseConfig) -> u64 {
+    u64::from(c.sets) * u64::from(c.ways)
+        + u64::from(c.modules)
+        + u64::from(c.banks)
+        + c.leader_stride.map_or(0, |_| 1)
+}
+
+/// Chunk-removal pass: try dropping runs of ops, halving the chunk size
+/// down to single ops.
+fn ddmin_ops(best: &mut Case, div: &mut Divergence) {
+    let mut chunk = best.ops.len().div_ceil(2).max(1);
+    loop {
+        let mut i = 0;
+        while i < best.ops.len() {
+            let mut cand = best.clone();
+            let hi = (i + chunk).min(cand.ops.len());
+            cand.ops.drain(i..hi);
+            if let Some(d) = run_case(&cand) {
+                *best = cand;
+                *div = d;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+}
+
+/// Per-op simplification: zero the clock deltas, turn writes into reads.
+fn simplify_ops(best: &mut Case, div: &mut Divergence) {
+    for i in 0..best.ops.len() {
+        let simpler: Vec<Op> = match best.ops[i] {
+            Op::Access {
+                block,
+                write,
+                dcycles,
+            } => {
+                let mut v = Vec::new();
+                if dcycles != 0 {
+                    v.push(Op::Access {
+                        block,
+                        write,
+                        dcycles: 0,
+                    });
+                }
+                if write {
+                    v.push(Op::Access {
+                        block,
+                        write: false,
+                        dcycles,
+                    });
+                }
+                v
+            }
+            Op::Advance { dcycles } if dcycles != 0 => vec![Op::Advance { dcycles: 0 }],
+            _ => Vec::new(),
+        };
+        for s in simpler {
+            let mut cand = best.clone();
+            cand.ops[i] = s;
+            if let Some(d) = run_case(&cand) {
+                *best = cand;
+                *div = d;
+            }
+        }
+    }
+}
+
+/// Config-shrinking pass. Each candidate keeps the `CacheGeometry`
+/// invariants valid and clamps ops that reference shrunk dimensions.
+fn shrink_config(best: &mut Case, div: &mut Divergence) {
+    let mut candidates: Vec<CaseConfig> = Vec::new();
+    let c = best.config.clone();
+    if c.sets > 8 && c.sets / 2 >= u32::from(c.modules) && c.sets / 2 >= u32::from(c.banks) {
+        candidates.push(CaseConfig {
+            sets: c.sets / 2,
+            ..c.clone()
+        });
+    }
+    if c.modules > 1 {
+        candidates.push(CaseConfig {
+            modules: c.modules / 2,
+            ..c.clone()
+        });
+    }
+    if c.banks > 1 {
+        candidates.push(CaseConfig {
+            banks: 1,
+            ..c.clone()
+        });
+    }
+    if c.leader_stride.is_some() {
+        candidates.push(CaseConfig {
+            leader_stride: None,
+            ..c.clone()
+        });
+    }
+    if c.ways > 1 {
+        candidates.push(CaseConfig {
+            ways: c.ways / 2,
+            ..c.clone()
+        });
+    }
+
+    for cfg in candidates {
+        let mut cand = Case {
+            ops: best.ops.clone(),
+            config: cfg,
+        };
+        clamp_ops(&mut cand);
+        if let Some(d) = run_case(&cand) {
+            *best = cand;
+            *div = d;
+        }
+    }
+}
+
+/// Clamps op fields that a config shrink may have invalidated.
+fn clamp_ops(case: &mut Case) {
+    let c = &case.config;
+    for op in &mut case.ops {
+        if let Op::Reconfig { module, ways } = op {
+            *module %= c.modules;
+            *ways = (*ways).clamp(1, c.ways);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CheckPolicy;
+
+    /// Minimizing a panic-divergent case drops every irrelevant op and
+    /// still reproduces the divergence.
+    #[test]
+    fn minimize_strips_irrelevant_ops() {
+        let mut ops = vec![
+            Op::Access {
+                block: 1,
+                write: false,
+                dcycles: 5,
+            };
+            20
+        ];
+        // The one op that matters: an out-of-range reconfiguration.
+        ops.push(Op::Reconfig { module: 0, ways: 9 });
+        let case = Case {
+            config: CaseConfig {
+                sets: 64,
+                ways: 4,
+                banks: 2,
+                modules: 4,
+                leader_stride: Some(8),
+                policy: CheckPolicy::PeriodicValid,
+                retention: 100,
+                phases: 1,
+            },
+            ops,
+        };
+        let (min, d) = minimize(&case);
+        assert!(
+            run_case(&min).is_some(),
+            "minimized case must still diverge"
+        );
+        assert!(
+            min.ops.len() <= 1,
+            "expected the 20 filler accesses to be dropped, kept {:?}",
+            min.ops
+        );
+        // Note: `d` need not be the seeded panic — the minimizer accepts
+        // any divergence, so it may land on a different underlying bug.
+        assert!(!d.field.is_empty());
+    }
+}

@@ -1,0 +1,571 @@
+//! The naive reference model.
+//!
+//! Everything here is written for *obviousness*: plain `Vec`s of per-line
+//! structs, recency kept as an explicit way list (index 0 = MRU), leader
+//! selection and address mapping done with divisions and modulo, refresh
+//! deadlines stored per line as absolute cycles and scanned linearly. No
+//! bitmasks, no packed words, no calendar queues — nothing shared with
+//! the optimized implementation beyond the documented semantics:
+//!
+//! * a hit promotes the line to MRU; a write marks it dirty;
+//! * a miss fills an *enabled* way: the invalid enabled way closest to the
+//!   LRU end if any, else the least-recently-used enabled way (evicting a
+//!   dirty line reports its block address for write-back);
+//! * leader sets (every `R_s`-th set) always keep all `A` ways enabled
+//!   and credit their hits to the owning module's ATD histogram;
+//! * shrinking a module invalidates ways `new..old` of its follower sets
+//!   (dirty lines counted as write-backs, clean as discards); growing
+//!   enables empty ways; either way `|delta| * follower_sets` slots
+//!   change power state;
+//! * polyphase refresh (Refrint): a charge-restoring event at cycle `c`
+//!   sets the line's deadline to `phase_floor(c) + retention`; at each
+//!   phase boundary every valid line whose deadline equals the boundary
+//!   is refreshed (RPV) or refreshed-if-dirty / invalidated-if-clean
+//!   (RPD); periodic policies refresh every active slot (periodic-all) or
+//!   every valid line (periodic-valid) once per retention period.
+
+use esteem_cache::BlockAddr;
+use serde::{Deserialize, Serialize};
+
+/// Refresh policy fuzzed by the checker. Mirrors
+/// `esteem_edram::RefreshPolicy` minus the multi-periodic scrub policy
+/// (whose retention-variation model is a shared component, so a lockstep
+/// comparison would not be independent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckPolicy {
+    PeriodicAll,
+    PeriodicValid,
+    PolyphaseValid,
+    PolyphaseDirty,
+}
+
+impl CheckPolicy {
+    pub fn is_polyphase(self) -> bool {
+        matches!(
+            self,
+            CheckPolicy::PolyphaseValid | CheckPolicy::PolyphaseDirty
+        )
+    }
+}
+
+/// One fuzzed cache/refresh configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseConfig {
+    pub sets: u32,
+    pub ways: u8,
+    pub banks: u8,
+    pub modules: u16,
+    /// The paper's `R_s`; `None` = no leader sampling.
+    pub leader_stride: Option<u32>,
+    pub policy: CheckPolicy,
+    /// Retention period in cycles (a multiple of `phases`).
+    pub retention: u64,
+    /// Polyphase phase count (1 for the periodic policies).
+    pub phases: u8,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct OLine {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    last_update: u64,
+    /// Absolute due cycle of the next polyphase refresh (`None` when the
+    /// slot is not scheduled).
+    deadline: Option<u64>,
+}
+
+struct OSet {
+    lines: Vec<OLine>,
+    /// `recency[0]` is the MRU way, `recency[A-1]` the LRU way.
+    recency: Vec<u8>,
+}
+
+/// Mirror of [`esteem_cache::AccessOutcome`] produced by the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleAccess {
+    pub hit: bool,
+    pub hit_pos: u8,
+    pub set: u32,
+    pub way: u8,
+    pub bank: u8,
+    pub module: u16,
+    pub leader: bool,
+    pub evicted_valid: bool,
+    pub writeback: Option<BlockAddr>,
+}
+
+/// Mirror of [`esteem_cache::ReconfigOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OracleReconfig {
+    pub writebacks: u64,
+    pub discards: u64,
+    pub slot_transitions: u64,
+}
+
+/// The reference model: cache state, counters, and refresh bookkeeping in
+/// one struct (the naive model has no reason to split them).
+pub struct OracleModel {
+    cfg: CaseConfig,
+    sets: Vec<OSet>,
+    module_ways: Vec<u8>,
+    track_retention: bool,
+    // Lifetime counters, mirroring CacheStats + AtdCounters.
+    pub hits: u64,
+    pub misses: u64,
+    pub writebacks: u64,
+    pub writes: u64,
+    pub pos_hits: Vec<u64>,
+    /// `atd_hits[module][pos]`.
+    pub atd_hits: Vec<Vec<u64>>,
+    // Refresh bookkeeping.
+    next_period_end: u64,
+    /// Next unprocessed polyphase phase boundary.
+    next_phase_boundary: u64,
+    pub total_refreshes: u64,
+    pub total_invalidations: u64,
+    /// Per-bank refresh ops since the last drain.
+    bank_window: Vec<u64>,
+}
+
+impl OracleModel {
+    pub fn new(cfg: &CaseConfig) -> Self {
+        assert!(cfg.phases >= 1);
+        assert!(cfg.retention.is_multiple_of(u64::from(cfg.phases)));
+        let sets = (0..cfg.sets)
+            .map(|_| OSet {
+                lines: vec![OLine::default(); cfg.ways as usize],
+                recency: (0..cfg.ways).collect(),
+            })
+            .collect();
+        Self {
+            sets,
+            module_ways: vec![cfg.ways; cfg.modules as usize],
+            track_retention: cfg.policy.is_polyphase(),
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+            writes: 0,
+            pos_hits: vec![0; cfg.ways as usize],
+            atd_hits: vec![vec![0; cfg.ways as usize]; cfg.modules as usize],
+            next_period_end: cfg.retention,
+            next_phase_boundary: cfg.retention / u64::from(cfg.phases),
+            total_refreshes: 0,
+            total_invalidations: 0,
+            bank_window: vec![0; cfg.banks as usize],
+            cfg: cfg.clone(),
+        }
+    }
+
+    pub fn config(&self) -> &CaseConfig {
+        &self.cfg
+    }
+
+    fn phase_len(&self) -> u64 {
+        self.cfg.retention / u64::from(self.cfg.phases)
+    }
+
+    // ---- naive address mapping -------------------------------------
+
+    pub fn set_of(&self, block: BlockAddr) -> u32 {
+        (block % u64::from(self.cfg.sets)) as u32
+    }
+
+    pub fn tag_of(&self, block: BlockAddr) -> u64 {
+        block / u64::from(self.cfg.sets)
+    }
+
+    pub fn block_of(&self, tag: u64, set: u32) -> BlockAddr {
+        tag * u64::from(self.cfg.sets) + u64::from(set)
+    }
+
+    pub fn bank_of(&self, set: u32) -> u8 {
+        (set % u32::from(self.cfg.banks)) as u8
+    }
+
+    pub fn module_of(&self, set: u32) -> u16 {
+        (set / (self.cfg.sets / u32::from(self.cfg.modules))) as u16
+    }
+
+    pub fn is_leader(&self, set: u32) -> bool {
+        match self.cfg.leader_stride {
+            None => false,
+            Some(rs) => set.is_multiple_of(rs),
+        }
+    }
+
+    /// Number of ways enabled for a set: all of them for leaders, the
+    /// module's configured count for followers.
+    fn enabled_ways(&self, set: u32) -> u8 {
+        if self.is_leader(set) {
+            self.cfg.ways
+        } else {
+            self.module_ways[self.module_of(set) as usize]
+        }
+    }
+
+    pub fn module_ways(&self) -> &[u8] {
+        &self.module_ways
+    }
+
+    // ---- cache operations ------------------------------------------
+
+    pub fn access(&mut self, block: BlockAddr, write: bool, now: u64) -> OracleAccess {
+        let set = self.set_of(block);
+        let tag = self.tag_of(block);
+        let bank = self.bank_of(set);
+        let module = self.module_of(set);
+        let leader = self.is_leader(set);
+        let enabled = self.enabled_ways(set);
+        let track = self.track_retention;
+        let deadline = self.next_deadline(now);
+
+        if write {
+            self.writes += 1;
+        }
+
+        // Hit scan over the enabled, valid ways.
+        let mut hit_way = None;
+        {
+            let s = &self.sets[set as usize];
+            for way in 0..enabled {
+                let l = &s.lines[way as usize];
+                if l.valid && l.tag == tag {
+                    hit_way = Some(way);
+                    break;
+                }
+            }
+        }
+        if let Some(way) = hit_way {
+            let s = &mut self.sets[set as usize];
+            let pos = s.recency.iter().position(|&w| w == way).unwrap() as u8;
+            // Promote to MRU.
+            s.recency.remove(pos as usize);
+            s.recency.insert(0, way);
+            let l = &mut s.lines[way as usize];
+            if write {
+                l.dirty = true;
+            }
+            if track {
+                l.last_update = now;
+            }
+            l.deadline = deadline;
+            self.hits += 1;
+            self.pos_hits[pos as usize] += 1;
+            if leader {
+                self.atd_hits[module as usize][pos as usize] += 1;
+            }
+            return OracleAccess {
+                hit: true,
+                hit_pos: pos,
+                set,
+                way,
+                bank,
+                module,
+                leader,
+                evicted_valid: false,
+                writeback: None,
+            };
+        }
+
+        // Miss: prefer the invalid enabled way nearest the LRU end, else
+        // the LRU enabled way.
+        self.misses += 1;
+        let victim = {
+            let s = &self.sets[set as usize];
+            let mut choice = None;
+            for &w in s.recency.iter().rev() {
+                if w < enabled && !s.lines[w as usize].valid {
+                    choice = Some(w);
+                    break;
+                }
+            }
+            if choice.is_none() {
+                for &w in s.recency.iter().rev() {
+                    if w < enabled {
+                        choice = Some(w);
+                        break;
+                    }
+                }
+            }
+            choice.expect("at least one way is always enabled")
+        };
+        let old_tag = self.sets[set as usize].lines[victim as usize].tag;
+        let evicted_valid = self.sets[set as usize].lines[victim as usize].valid;
+        let evicted_dirty = self.sets[set as usize].lines[victim as usize].dirty;
+        let writeback = if evicted_valid && evicted_dirty {
+            self.writebacks += 1;
+            Some(self.block_of(old_tag, set))
+        } else {
+            None
+        };
+        {
+            let s = &mut self.sets[set as usize];
+            let l = &mut s.lines[victim as usize];
+            l.valid = true;
+            l.dirty = write;
+            l.tag = tag;
+            if track {
+                l.last_update = now;
+            }
+            l.deadline = deadline;
+            let pos = s.recency.iter().position(|&w| w == victim).unwrap();
+            s.recency.remove(pos);
+            s.recency.insert(0, victim);
+        }
+        OracleAccess {
+            hit: false,
+            hit_pos: 0,
+            set,
+            way: victim,
+            bank,
+            module,
+            leader,
+            evicted_valid,
+            writeback,
+        }
+    }
+
+    /// Deadline assigned by a charge-restoring event at `now` (polyphase
+    /// policies only): the start of this phase plus one retention period.
+    fn next_deadline(&self, now: u64) -> Option<u64> {
+        if !self.cfg.policy.is_polyphase() {
+            return None;
+        }
+        let pl = self.phase_len();
+        Some((now / pl) * pl + self.cfg.retention)
+    }
+
+    pub fn reconfig(&mut self, module: u16, new_ways: u8, _now: u64) -> OracleReconfig {
+        assert!((1..=self.cfg.ways).contains(&new_ways));
+        let old = self.module_ways[module as usize];
+        if old == new_ways {
+            return OracleReconfig::default();
+        }
+        let spm = self.cfg.sets / u32::from(self.cfg.modules);
+        let first = u32::from(module) * spm;
+        let mut out = OracleReconfig::default();
+        let mut followers = 0u64;
+        for set in first..first + spm {
+            if self.is_leader(set) {
+                continue;
+            }
+            followers += 1;
+            if new_ways < old {
+                for way in new_ways..old {
+                    let l = &mut self.sets[set as usize].lines[way as usize];
+                    if l.valid {
+                        if l.dirty {
+                            out.writebacks += 1;
+                        } else {
+                            out.discards += 1;
+                        }
+                        l.valid = false;
+                        l.dirty = false;
+                        l.deadline = None;
+                    }
+                }
+            }
+        }
+        out.slot_transitions = u64::from(old.abs_diff(new_ways)) * followers;
+        self.module_ways[module as usize] = new_ways;
+        out
+    }
+
+    // ---- naive state queries (recomputed, never cached) -------------
+
+    pub fn valid_lines(&self) -> u64 {
+        self.sets
+            .iter()
+            .flat_map(|s| s.lines.iter())
+            .filter(|l| l.valid)
+            .count() as u64
+    }
+
+    pub fn valid_per_bank(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.cfg.banks as usize];
+        for set in 0..self.cfg.sets {
+            let n = self.sets[set as usize]
+                .lines
+                .iter()
+                .filter(|l| l.valid)
+                .count() as u64;
+            out[self.bank_of(set) as usize] += n;
+        }
+        out
+    }
+
+    pub fn active_slots(&self) -> u64 {
+        (0..self.cfg.sets)
+            .map(|set| u64::from(self.enabled_ways(set)))
+            .sum()
+    }
+
+    pub fn leaders_in_module(&self, module: u16) -> u32 {
+        let spm = self.cfg.sets / u32::from(self.cfg.modules);
+        let first = u32::from(module) * spm;
+        (first..first + spm).filter(|&s| self.is_leader(s)).count() as u32
+    }
+
+    /// Line-state snapshot: `(valid, dirty, tag, last_update)`.
+    pub fn line(&self, set: u32, way: u8) -> (bool, bool, u64, u64) {
+        let l = &self.sets[set as usize].lines[way as usize];
+        (l.valid, l.dirty, l.tag, l.last_update)
+    }
+
+    /// Recency position of `way` in `set` (0 = MRU).
+    pub fn position_of(&self, set: u32, way: u8) -> u8 {
+        self.sets[set as usize]
+            .recency
+            .iter()
+            .position(|&w| w == way)
+            .unwrap() as u8
+    }
+
+    // ---- refresh ---------------------------------------------------
+
+    /// Advances refresh processing to `to` (inclusive), mirroring
+    /// `RefreshEngine::advance`. Returns `(refreshes, invalidations)`.
+    pub fn advance_refresh(&mut self, to: u64) -> (u64, u64) {
+        let mut refreshes = 0u64;
+        let mut invalidations = 0u64;
+        match self.cfg.policy {
+            CheckPolicy::PeriodicAll => {
+                while self.next_period_end <= to {
+                    let slots = self.active_slots();
+                    // Uniform striping over banks: total/B each, remainder
+                    // to the lowest-numbered banks.
+                    let b = self.cfg.banks as u64;
+                    for (i, w) in self.bank_window.iter_mut().enumerate() {
+                        *w += slots / b + u64::from((i as u64) < slots % b);
+                    }
+                    refreshes += slots;
+                    self.next_period_end += self.cfg.retention;
+                }
+            }
+            CheckPolicy::PeriodicValid => {
+                while self.next_period_end <= to {
+                    for set in 0..self.cfg.sets {
+                        let bank = self.bank_of(set) as usize;
+                        let n = self.sets[set as usize]
+                            .lines
+                            .iter()
+                            .filter(|l| l.valid)
+                            .count() as u64;
+                        self.bank_window[bank] += n;
+                        refreshes += n;
+                    }
+                    self.next_period_end += self.cfg.retention;
+                }
+            }
+            CheckPolicy::PolyphaseValid | CheckPolicy::PolyphaseDirty => {
+                let dirty_only = self.cfg.policy == CheckPolicy::PolyphaseDirty;
+                let pl = self.phase_len();
+                while self.next_phase_boundary <= to {
+                    let boundary = self.next_phase_boundary;
+                    for set in 0..self.cfg.sets {
+                        let bank = self.bank_of(set) as usize;
+                        for way in 0..self.cfg.ways {
+                            let l = &mut self.sets[set as usize].lines[way as usize];
+                            if l.deadline != Some(boundary) {
+                                continue;
+                            }
+                            if !l.valid {
+                                l.deadline = None;
+                            } else if dirty_only && !l.dirty {
+                                // RPD: clean and idle for a full period —
+                                // invalidate instead of refreshing.
+                                l.valid = false;
+                                l.deadline = None;
+                                invalidations += 1;
+                            } else {
+                                l.last_update = boundary;
+                                l.deadline = Some(boundary + self.cfg.retention);
+                                self.bank_window[bank] += 1;
+                                refreshes += 1;
+                            }
+                        }
+                    }
+                    self.next_phase_boundary += pl;
+                }
+            }
+        }
+        self.total_refreshes += refreshes;
+        self.total_invalidations += invalidations;
+        (refreshes, invalidations)
+    }
+
+    /// Per-bank refresh ops since the previous drain; resets the window.
+    pub fn drain_bank_refreshes(&mut self) -> Vec<u64> {
+        std::mem::replace(&mut self.bank_window, vec![0; self.cfg.banks as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CaseConfig {
+        CaseConfig {
+            sets: 16,
+            ways: 4,
+            banks: 2,
+            modules: 2,
+            leader_stride: Some(8),
+            policy: CheckPolicy::PolyphaseValid,
+            retention: 100,
+            phases: 4,
+        }
+    }
+
+    #[test]
+    fn fill_hit_and_evict() {
+        let mut o = OracleModel::new(&cfg());
+        let b = o.block_of(7, 3);
+        let r = o.access(b, false, 10);
+        assert!(!r.hit);
+        let r = o.access(b, true, 20);
+        assert!(r.hit);
+        assert_eq!(r.hit_pos, 0);
+        assert_eq!(o.valid_lines(), 1);
+        // Fill the set and push the first line out with a 5th block.
+        for t in 1..=4u64 {
+            o.access(o.block_of(7 + t, 3), false, 30);
+        }
+        assert_eq!(o.valid_lines(), 4);
+        // The dirty original was the LRU victim: write-back reported.
+        assert_eq!(o.writebacks, 1);
+    }
+
+    #[test]
+    fn polyphase_deadline_and_refresh() {
+        let mut o = OracleModel::new(&cfg());
+        let b = o.block_of(1, 2);
+        o.access(b, false, 60); // phase 2 (50..75) -> deadline 150
+        let (r, i) = o.advance_refresh(149);
+        assert_eq!((r, i), (0, 0));
+        let (r, i) = o.advance_refresh(150);
+        assert_eq!((r, i), (1, 0));
+        let (r, _) = o.advance_refresh(250);
+        assert_eq!(r, 1, "rescheduled one retention period later");
+    }
+
+    #[test]
+    fn shrink_counts_and_grow_is_empty() {
+        let mut o = OracleModel::new(&cfg());
+        // Fill all ways of module 0's sets (0..8; set 0 is a leader).
+        for set in 0..8u32 {
+            for t in 0..4u64 {
+                o.access(o.block_of(t + 1, set), t == 0, 0);
+            }
+        }
+        let out = o.reconfig(0, 2, 100);
+        // 7 follower sets lose 2 ways each.
+        assert_eq!(out.writebacks + out.discards, 14);
+        assert_eq!(out.slot_transitions, 14);
+        let out = o.reconfig(0, 4, 200);
+        assert_eq!(out.writebacks + out.discards, 0);
+        assert_eq!(out.slot_transitions, 14);
+        assert_eq!(o.active_slots(), 16 * 4);
+    }
+}

@@ -1,0 +1,96 @@
+//! Reproducer files: a minimized divergent case serialized to JSON so it
+//! can be committed as a regression, attached to CI artifacts, and
+//! replayed with `esteem-check --replay FILE`.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::fuzz::{Case, Op};
+use crate::oracle::CaseConfig;
+use crate::Divergence;
+
+/// One self-contained reproducer: where it came from, the minimized
+/// config + op list, and the divergence it produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Repro {
+    /// Fuzzer seed of the run that found the case.
+    pub seed: u64,
+    /// Case index within the run (the case is regenerable from
+    /// `(seed, case_index)` before minimization).
+    pub case_index: u64,
+    pub config: CaseConfig,
+    pub ops: Vec<Op>,
+    pub divergence: Divergence,
+}
+
+impl Repro {
+    pub fn case(&self) -> Case {
+        Case {
+            config: self.config.clone(),
+            ops: self.ops.clone(),
+        }
+    }
+}
+
+/// Writes a reproducer into `dir` (created if needed) as
+/// `div-<seed>-<case_index>.json`; returns the path.
+pub fn save(dir: &Path, repro: &Repro) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("div-{}-{}.json", repro.seed, repro.case_index));
+    let json = serde_json::to_string_pretty(repro)
+        .map_err(|e| std::io::Error::other(format!("serialize repro: {e}")))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Loads a reproducer written by [`save`].
+pub fn load(path: &Path) -> Result<Repro, String> {
+    let body =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    serde_json::from_str(&body).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CheckPolicy;
+
+    #[test]
+    fn round_trip() {
+        let r = Repro {
+            seed: 42,
+            case_index: 7,
+            config: CaseConfig {
+                sets: 16,
+                ways: 3,
+                banks: 2,
+                modules: 2,
+                leader_stride: None,
+                policy: CheckPolicy::PolyphaseDirty,
+                retention: 120,
+                phases: 4,
+            },
+            ops: vec![
+                Op::Access {
+                    block: 17,
+                    write: true,
+                    dcycles: 9,
+                },
+                Op::Reconfig { module: 1, ways: 2 },
+                Op::Advance { dcycles: 500 },
+            ],
+            divergence: Divergence {
+                op_index: 2,
+                field: "refresh.total".into(),
+                expected: "3".into(),
+                got: "2".into(),
+            },
+        };
+        let dir = std::env::temp_dir().join(format!("esteem-check-repro-{}", std::process::id()));
+        let path = save(&dir, &r).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back, r);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

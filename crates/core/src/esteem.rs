@@ -79,7 +79,10 @@ pub fn algorithm1_explain(
         if accumulated as f64 >= threshold {
             let chosen = (i + 1) as u8;
             return if non_lru {
-                decision(chosen.max(a as u8 - 1))
+                // The guard *raises* the floor to A-1; it must never lower
+                // it below A_min (a_min == A used to lose one way here —
+                // found by the differential checker's Algorithm 1 fuzz).
+                decision(chosen.max(a_min).max(a as u8 - 1))
             } else {
                 decision(chosen.max(a_min))
             };
@@ -209,6 +212,18 @@ impl EsteemController {
         for (m, &want) in decisions.iter().enumerate() {
             merged.merge(l2.set_module_active_ways(m as u16, want, now));
         }
+        #[cfg(feature = "strict-invariants")]
+        for (m, &want) in decisions.iter().enumerate() {
+            assert!(
+                (1..=l2.geometry().ways).contains(&want),
+                "module {m}: decision {want} outside 1..=A"
+            );
+            assert_eq!(
+                l2.module_active_ways(m as u16),
+                want,
+                "module {m}: applied ways disagree with the decision"
+            );
+        }
         l2.atd.reset();
         tracer.emit(EventKind::Reconfig, || TraceEvent::ReconfigApply {
             cycle: now,
@@ -273,6 +288,20 @@ mod tests {
         let hits = [1000u64, 1, 0, 0, 0, 0, 0, 0];
         assert_eq!(algorithm1(&hits, 0.97, 3, true), 3);
         assert_eq!(algorithm1(&hits, 0.97, 5, true), 5);
+    }
+
+    /// Regression (differential checker, Algorithm 1 fuzz): a non-LRU
+    /// module with `A_min == A` used to get `max(chosen, A-1)` — one way
+    /// below the configured floor. The guard may only *raise* the floor.
+    #[test]
+    fn a_min_floor_holds_under_non_lru_guard() {
+        // Anti-recency ramp, A = 4: anomalies trip the guard; a_min = 4
+        // must still win over the A-1 clamp.
+        assert_eq!(algorithm1(&[195, 120, 36, 220], 0.5, 4, true), 4);
+        // A = 2: guard always on (A/4 = 0); a_min = 2 keeps both ways.
+        assert_eq!(algorithm1(&[1316, 637], 0.5, 2, true), 2);
+        // a_min below A-1 leaves the clamp behavior unchanged.
+        assert_eq!(algorithm1(&[195, 120, 36, 220], 0.5, 1, true), 3);
     }
 
     #[test]

@@ -299,8 +299,26 @@ impl Simulator {
                 self.mem.write();
             }
         }
+        #[cfg(feature = "strict-invariants")]
+        let integral_before = self.active_slot_integral.integral();
         self.active_slot_integral
             .accumulate(self.l2.active_slots(), self.cfg.quantum_cycles);
+        #[cfg(feature = "strict-invariants")]
+        {
+            assert!(
+                self.l2.active_slots() <= self.l2.geometry().total_slots(),
+                "active slots exceed the cache's slot count"
+            );
+            // Cycle-slot integral monotonicity: the integral grows by
+            // exactly `active_slots * quantum` every quantum — no drift,
+            // no overflow wrap.
+            assert_eq!(
+                self.active_slot_integral.integral(),
+                integral_before
+                    + u128::from(self.l2.active_slots()) * u128::from(self.cfg.quantum_cycles),
+                "cycle-slot integral drift"
+            );
+        }
         self.clock = qend;
         if self.observing() && qend >= self.next_obs {
             self.emit_observation(qend);

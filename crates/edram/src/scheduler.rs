@@ -26,6 +26,8 @@
 //! multiply plus shift (exact for the cycle ranges the simulator can
 //! produce; see `PhaseDiv`).
 
+use esteem_cache::{strict_assert, strict_assert_eq};
+
 /// What the policy callback decided for a due line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DueAction {
@@ -74,7 +76,7 @@ impl PhaseDiv {
         } else {
             x / self.d
         };
-        debug_assert_eq!(q, x / self.d, "reciprocal division wrong for x={x}");
+        strict_assert_eq!(q, x / self.d, "reciprocal division wrong for x={x}");
         q
     }
 }
@@ -138,7 +140,18 @@ impl PolyphaseScheduler {
         // cycle's quotient plus `phases` — one quotient, no second divide.
         let q = self.phase_div.quot(cycle);
         let due_q = q + self.phases;
-        debug_assert!(due_q < u64::from(UNSCHEDULED), "phase index overflows u32");
+        // Hard (not debug) assert: a due quotient that reaches the u32
+        // sentinel would alias UNSCHEDULED and silently never refresh the
+        // line. Unreachable for real runs (< 2^40 cycles, phase lengths in
+        // the tens of thousands), so the predictable branch is free.
+        assert!(due_q < u64::from(UNSCHEDULED), "phase index overflows u32");
+        // Touches never trail the drain point: the simulator reports
+        // accesses at cycles >= the last `advance` target, so the due
+        // boundary is always still ahead of the next one to process.
+        strict_assert!(
+            due_q >= self.next_boundary_quot,
+            "touch at cycle {cycle} schedules an already-drained boundary"
+        );
         if self.due[line as usize] == due_q as u32 {
             return; // re-touched within the same phase: already queued
         }
@@ -175,9 +188,28 @@ impl PolyphaseScheduler {
             // zero every period).
             let mut entries = Vec::new();
             std::mem::swap(&mut entries, &mut self.ring[b]);
-            for &line in &entries {
-                if self.due[line as usize] != bq as u32 {
-                    continue; // stale (re-touched or unscheduled)
+            let mut kept = 0usize;
+            for i in 0..entries.len() {
+                let line = entries[i];
+                let d = self.due[line as usize];
+                if d != bq as u32 {
+                    // Not due at this boundary. Usually a stale entry
+                    // (re-touched into another bucket, or unscheduled) to
+                    // drop — but a line touched far enough ahead of the
+                    // drain point wraps the ring and lands in this bucket
+                    // for a *future* revolution; discarding it would lose
+                    // its refresh entirely (found by the differential
+                    // checker: repros div-0-{1,4,9}). Keep exactly the
+                    // entries whose authoritative due still maps here.
+                    if d != UNSCHEDULED && self.bucket_of_quot(u64::from(d)) == b {
+                        strict_assert!(
+                            u64::from(d) > bq,
+                            "entry for a past boundary survived its drain"
+                        );
+                        entries[kept] = line;
+                        kept += 1;
+                    }
+                    continue;
                 }
                 match on_due(line, boundary) {
                     DueAction::Refreshed => {
@@ -193,8 +225,8 @@ impl PolyphaseScheduler {
                     }
                 }
             }
-            debug_assert!(self.ring[b].is_empty(), "drained bucket repopulated");
-            entries.clear();
+            strict_assert!(self.ring[b].is_empty(), "drained bucket repopulated");
+            entries.truncate(kept);
             std::mem::swap(&mut entries, &mut self.ring[b]);
             self.next_boundary += self.phase_len;
             self.next_boundary_quot += 1;
@@ -288,6 +320,62 @@ mod tests {
     #[should_panic(expected = "multiple of the phase count")]
     fn rejects_indivisible_retention() {
         PolyphaseScheduler::new(101, 4, 8);
+    }
+
+    /// Regression (differential checker, repros div-0-{1,4,9}): a touch
+    /// more than `ring_len - phases` phases ahead of the drain point wraps
+    /// the calendar ring into a bucket that is drained for an *earlier*
+    /// boundary first; the drain used to discard the future-due entry,
+    /// silently losing every subsequent refresh of the line.
+    #[test]
+    fn far_ahead_touch_survives_ring_wraparound() {
+        // phases = 4 -> ring_len = 16, phase_len = 25. A touch at 505 is
+        // due at 600 (phase index 24), which shares bucket 8 with the
+        // boundary at 200 (phase index 8).
+        let mut s = PolyphaseScheduler::new(100, 4, 8);
+        s.touch(2, 505);
+        let r = collect_refreshes(&mut s, 550);
+        assert!(r.is_empty(), "nothing is due before 600, got {r:?}");
+        let r = collect_refreshes(&mut s, 600);
+        assert_eq!(
+            r,
+            vec![(2, 600)],
+            "far-ahead entry was lost when bucket 8 drained at boundary 200"
+        );
+        // And the line keeps its periodic schedule afterwards.
+        let r = collect_refreshes(&mut s, 800);
+        assert_eq!(r, vec![(2, 700), (2, 800)]);
+    }
+
+    /// A touch exactly on a phase boundary belongs to the phase *starting*
+    /// there: the refresh comes one full retention period later, not at
+    /// the boundary one phase earlier.
+    #[test]
+    fn touch_exactly_on_boundary_schedules_full_period() {
+        let mut s = PolyphaseScheduler::new(100, 4, 8);
+        s.touch(6, 100);
+        let r = collect_refreshes(&mut s, 199);
+        assert!(r.is_empty());
+        let r = collect_refreshes(&mut s, 200);
+        assert_eq!(r, vec![(6, 200)]);
+    }
+
+    /// The largest phase index below the sentinel still schedules.
+    #[test]
+    fn touch_at_max_representable_phase_index_is_fine() {
+        let mut s = PolyphaseScheduler::new(4, 4, 8); // phase_len = 1
+        let cycle = u64::from(UNSCHEDULED) - 5; // due_q = u32::MAX - 1
+        s.touch(0, cycle);
+        assert_eq!(s.due_of(0), Some(u64::from(UNSCHEDULED) - 1));
+    }
+
+    /// One past it would alias UNSCHEDULED and silently drop the line —
+    /// the guard must be a hard error, not a debug-only one.
+    #[test]
+    #[should_panic(expected = "overflows u32")]
+    fn touch_one_past_max_phase_index_panics() {
+        let mut s = PolyphaseScheduler::new(4, 4, 8);
+        s.touch(0, u64::from(UNSCHEDULED) - 4); // due_q == the sentinel
     }
 
     proptest! {

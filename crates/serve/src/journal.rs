@@ -21,7 +21,7 @@
 //! * submitted-but-unfinished jobs (crash mid-run) are re-queued.
 //! * a torn final line (crash mid-write) is skipped, not fatal.
 
-use std::io::{BufRead, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -161,19 +161,30 @@ pub struct Recovery {
 
 /// Replays a journal file. A missing file is an empty recovery (first
 /// boot), not an error.
+///
+/// Corruption anywhere in the file — a torn tail, an overwritten middle
+/// line, even bytes that are not UTF-8 — skips that line (counted in
+/// [`Recovery::skipped_lines`]) and keeps replaying. Recovery must never
+/// refuse to boot the daemon over a damaged record: the worst case for a
+/// skipped line is a job replayed as unfinished, and re-running is safe
+/// because the simulator is deterministic. (`BufRead::lines` would abort
+/// the whole replay with an I/O error on the first non-UTF-8 byte.)
 pub fn recover(path: &Path) -> std::io::Result<Recovery> {
-    let file = match std::fs::File::open(path) {
-        Ok(f) => f,
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Recovery::default()),
         Err(e) => return Err(e),
     };
     let mut rec = Recovery::default();
-    for line in std::io::BufReader::new(file).lines() {
-        let line = line?;
-        if line.trim().is_empty() {
+    for raw in bytes.split(|&b| b == b'\n') {
+        if raw.iter().all(u8::is_ascii_whitespace) {
             continue;
         }
-        let Ok(v) = serde_json::from_str::<Value>(&line) else {
+        let Ok(line) = std::str::from_utf8(raw) else {
+            rec.skipped_lines += 1;
+            continue;
+        };
+        let Ok(v) = serde_json::from_str::<Value>(line) else {
             rec.skipped_lines += 1;
             continue;
         };
@@ -286,6 +297,64 @@ mod tests {
         assert_eq!(rec.skipped_lines, 1);
         assert_eq!(rec.jobs.len(), 1);
         assert_eq!(rec.jobs[0].outcome, RecoveredOutcome::Unfinished);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A line clobbered *mid-file* (disk corruption, partial overwrite)
+    /// must not abort replay or poison the records after it — including
+    /// when the clobber is not valid UTF-8, which used to surface as an
+    /// I/O error from `BufRead::lines` and fail the whole recovery.
+    #[test]
+    fn corrupt_middle_line_is_skipped_and_counted() {
+        let path = tmp("midline.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        j.submit(1, 0x1, &spec(1));
+        j.done(1);
+        j.submit(2, 0x2, &spec(2));
+        j.done(2);
+        drop(j);
+        // Clobber line 2 (`done 1`) in place with non-UTF-8 garbage of
+        // the same length, preserving the newline.
+        let bytes = std::fs::read(&path).unwrap();
+        let lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+        let mut out = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            if i == 1 {
+                out.extend(vec![0xFF_u8; line.len()]);
+            } else {
+                out.extend_from_slice(line);
+            }
+            if i + 1 < lines.len() {
+                out.push(b'\n');
+            }
+        }
+        std::fs::write(&path, out).unwrap();
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.skipped_lines, 1);
+        assert_eq!(rec.jobs.len(), 2);
+        // Job 1 lost its `done` record: replayed as unfinished (re-queue),
+        // which is safe because the simulator is deterministic.
+        assert_eq!(rec.jobs[0].outcome, RecoveredOutcome::Unfinished);
+        // Job 2's records, after the corruption, still replay fully.
+        assert_eq!(rec.jobs[1].outcome, RecoveredOutcome::Done);
+        assert_eq!(rec.max_id, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// An event for a job id with no surviving `submit` (e.g. the submit
+    /// line was the corrupted one) is skipped, not a panic.
+    #[test]
+    fn orphan_event_counts_as_skipped() {
+        let path = tmp("orphan.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        j.done(7);
+        j.fail(8, "boom");
+        drop(j);
+        let rec = recover(&path).unwrap();
+        assert!(rec.jobs.is_empty());
+        assert_eq!(rec.skipped_lines, 2);
         let _ = std::fs::remove_file(&path);
     }
 

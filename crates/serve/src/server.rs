@@ -82,6 +82,8 @@ pub struct ServeCounters {
     pub failed: AtomicU64,
     /// Jobs reconstructed from the journal at startup.
     pub recovered: AtomicU64,
+    /// Corrupt/torn journal lines skipped during recovery.
+    pub journal_skipped: AtomicU64,
 }
 
 impl StatsSource for ServeCounters {
@@ -94,6 +96,10 @@ impl StatsSource for ServeCounters {
         out.counter("jobs_completed", self.completed.load(Ordering::Relaxed));
         out.counter("jobs_failed", self.failed.load(Ordering::Relaxed));
         out.counter("jobs_recovered", self.recovered.load(Ordering::Relaxed));
+        out.counter(
+            "journal_skipped_lines",
+            self.journal_skipped.load(Ordering::Relaxed),
+        );
     }
 }
 
@@ -323,6 +329,17 @@ pub fn spawn(opts: ServerOptions) -> std::io::Result<Daemon> {
 
 fn recover_jobs(state: &Arc<State>, path: &std::path::Path) -> std::io::Result<()> {
     let rec = recover(path)?;
+    if rec.skipped_lines > 0 {
+        eprintln!(
+            "esteem-serve: journal {}: skipped {} corrupt line(s) during recovery",
+            path.display(),
+            rec.skipped_lines
+        );
+        state
+            .counters
+            .journal_skipped
+            .fetch_add(rec.skipped_lines, Ordering::Relaxed);
+    }
     state.next_id.store(rec.max_id, Ordering::Relaxed);
     for r in rec.jobs {
         let job = Arc::new(Job::new(r.id, r.spec, r.fingerprint));

@@ -352,6 +352,95 @@ fn journal_recovery_restores_done_jobs_and_requeues_unfinished() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Corruption injection: clobber a line in the *middle* of the journal
+/// (with non-UTF-8 bytes, the nastiest case) and restart. The daemon must
+/// boot, count the skipped line, and still recover every intact record.
+#[test]
+fn journal_recovery_survives_corrupt_middle_line() {
+    let dir = std::env::temp_dir().join(format!("esteem-e2e-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("journal.jsonl");
+
+    // First daemon: run two jobs to completion, producing at least
+    // submit/start/done triples for each.
+    let spec_a = spec(0xE2ED);
+    let spec_b = spec(0xE2EE);
+    let (id_a, id_b) = {
+        let daemon = spawn(ServerOptions {
+            journal_path: Some(journal.clone()),
+            ..opts()
+        })
+        .unwrap();
+        let addr = daemon.addr().to_string();
+        let ra = client::submit(&addr, &spec_a).unwrap();
+        client::fetch(&addr, ra.job, Duration::from_millis(20)).unwrap();
+        let rb = client::submit(&addr, &spec_b).unwrap();
+        client::fetch(&addr, rb.job, Duration::from_millis(20)).unwrap();
+        daemon.shutdown();
+        daemon.wait();
+        (ra.job, rb.job)
+    };
+
+    // Clobber job A's `done` line in place with invalid UTF-8, leaving
+    // every other line (including job B's whole history) intact.
+    let bytes = std::fs::read(&journal).unwrap();
+    let needle = format!("\"event\":\"done\",\"job\":{id_a}");
+    let mut out = Vec::new();
+    let mut clobbered = false;
+    for line in bytes.split(|&b| b == b'\n') {
+        if !clobbered && String::from_utf8_lossy(line).contains(&needle) {
+            out.extend(vec![0xFE_u8; line.len()]);
+            clobbered = true;
+        } else {
+            out.extend_from_slice(line);
+        }
+        out.push(b'\n');
+    }
+    assert!(clobbered, "done record for job {id_a} not found in journal");
+    std::fs::write(&journal, out).unwrap();
+
+    // Second daemon: boots despite the corruption, reports the skipped
+    // line, keeps job B done, and re-queues job A (its `done` was lost,
+    // so it replays as unfinished) to the identical deterministic result.
+    let daemon = spawn(ServerOptions {
+        journal_path: Some(journal.clone()),
+        ..opts()
+    })
+    .unwrap();
+    let addr = daemon.addr().to_string();
+    assert_eq!(
+        daemon
+            .counters()
+            .journal_skipped
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1,
+        "exactly the clobbered line is skipped"
+    );
+    let (state_b, _) = client::poll(&addr, id_b).unwrap();
+    assert_eq!(state_b, "done", "intact job must survive the corruption");
+    let report_a = client::fetch(&addr, id_a, Duration::from_millis(20)).unwrap();
+    let expected = {
+        let r = spec_a.resolve().unwrap();
+        Simulator::new(r.cfg, &r.profiles, &r.label)
+            .run()
+            .to_value()
+    };
+    assert_eq!(
+        serde_json::to_string(&report_a).unwrap(),
+        serde_json::to_string(&expected).unwrap(),
+        "re-run of the job with the lost `done` reproduces its report"
+    );
+    let text = client::metrics(&addr).unwrap();
+    assert!(
+        text.contains("journal_skipped_lines"),
+        "skipped-line counter must be exported in /metrics:\n{text}"
+    );
+    daemon.shutdown();
+    daemon.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn bad_specs_and_bad_routes_get_clean_errors() {
     let daemon = spawn(opts()).unwrap();

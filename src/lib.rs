@@ -24,7 +24,10 @@
 //! * [`harness`] — regenerators for every table and figure;
 //! * [`serve`] — the `esteem-serve` job daemon (HTTP API, bounded
 //!   priority queue, run-cache dedupe, crash-safe journal) and its
-//!   client library.
+//!   client library;
+//! * [`check`] — the differential oracle checker (`esteem-check`): a
+//!   naive reference model fuzzed in lockstep against the optimized
+//!   cache/refresh stack, with case minimization and reproducer replay.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +45,7 @@
 //! ```
 
 pub use esteem_cache as cache;
+pub use esteem_check as check;
 pub use esteem_core as core;
 pub use esteem_edram as edram;
 pub use esteem_energy as energy;
