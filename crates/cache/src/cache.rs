@@ -52,59 +52,70 @@ impl ReconfigOutcome {
 /// leader sets.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    geom: CacheGeometry,
+    pub(crate) geom: CacheGeometry,
     /// `tags[set * ways + way]`; gated by the valid bitmask (a slot keeps
     /// its stale tag after invalidation). Keeping the tags contiguous and
     /// bare lets the hit scan touch 8 bytes per way instead of a whole
     /// line-state struct — this is the simulator's hottest loop.
-    tags: Vec<u64>,
+    pub(crate) tags: Vec<u64>,
     /// Per-set valid/dirty bitmasks, stored together so the hit path pulls
     /// both in one host cache line (they are almost always used together).
-    bits: Vec<SetBits>,
+    pub(crate) bits: Vec<SetBits>,
     /// `last_update[set * ways + way]`: cycle of the last charge-restoring
     /// operation (fill, hit, or refresh) — the eDRAM retention clock.
-    last_update: Vec<u64>,
+    pub(crate) last_update: Vec<u64>,
     /// Recency orders, one packed word (or byte run) per set.
-    order: lru::OrderStore,
+    pub(crate) order: lru::OrderStore,
     /// Active way count per module (`1..=A`). Leader sets ignore this.
-    module_ways: Vec<u8>,
+    pub(crate) module_ways: Vec<u8>,
     /// Leader-set selection rule, precomputed from the stride.
-    leader_rule: LeaderRule,
+    pub(crate) leader_rule: LeaderRule,
     /// Interval-scoped profiling counters fed by leader-set hits.
     pub atd: AtdCounters,
     /// Lifetime counters.
     pub stats: CacheStats,
-    valid_lines: u64,
+    pub(crate) valid_lines: u64,
     /// Valid lines per bank; consumed by refresh policies that only refresh
     /// valid lines (the counts are exact, maintained incrementally).
-    valid_per_bank: Vec<u64>,
+    pub(crate) valid_per_bank: Vec<u64>,
     active_slots: u64,
     /// Whether demand accesses record `last_update`. Only refresh policies
     /// that consult per-line retention clocks (the polyphase family and
     /// multi-periodic scrub) need the store; periodic-valid refresh and the
     /// L1s never read it, so the simulator turns it off for them to spare
     /// a random 8-byte store per access on the hot path.
-    track_retention: bool,
+    pub(crate) track_retention: bool,
 }
 
 /// One set's way-state bitmasks (bit `w` = physical way `w`).
 #[derive(Debug, Clone, Copy, Default)]
-struct SetBits {
-    valid: u64,
-    dirty: u64,
+pub(crate) struct SetBits {
+    pub(crate) valid: u64,
+    pub(crate) dirty: u64,
 }
 
 /// How leader sets are selected — resolved once at construction so the
 /// per-access check is a mask compare for the (universal) power-of-two
 /// strides instead of a division.
 #[derive(Debug, Clone, Copy)]
-enum LeaderRule {
+pub(crate) enum LeaderRule {
     /// No sampling (the L1s).
     None,
     /// Power-of-two stride: leader iff `set & mask == 0`.
     Pow2 { mask: u32 },
     /// General stride fallback.
     Modulo { stride: u32 },
+}
+
+impl LeaderRule {
+    #[inline]
+    pub(crate) fn is_leader(self, set: u32) -> bool {
+        match self {
+            LeaderRule::None => false,
+            LeaderRule::Pow2 { mask } => set & mask == 0,
+            LeaderRule::Modulo { stride } => set.is_multiple_of(stride),
+        }
+    }
 }
 
 impl SetAssocCache {
@@ -160,11 +171,7 @@ impl SetAssocCache {
     /// Whether `set` is a profiling leader set (never reconfigured).
     #[inline]
     pub fn is_leader(&self, set: u32) -> bool {
-        match self.leader_rule {
-            LeaderRule::None => false,
-            LeaderRule::Pow2 { mask } => set & mask == 0,
-            LeaderRule::Modulo { stride } => set.is_multiple_of(stride),
-        }
+        self.leader_rule.is_leader(set)
     }
 
     /// Way-enable mask for a set: full for leaders, else the lowest
@@ -307,6 +314,33 @@ impl SetAssocCache {
             evicted_valid,
             writeback,
         }
+    }
+
+    /// Applies the lifetime-stats deltas of one already-performed access
+    /// whose state effects were produced by the batch kernel (which defers
+    /// stats; see [`crate::BatchOutcome`]). Incrementing per consumed
+    /// access keeps the counters exact even when the caller stops
+    /// mid-batch (the simulator's instruction-target break).
+    #[inline]
+    pub fn apply_access_stats(&mut self, o: &AccessOutcome, write: bool) {
+        if write {
+            self.stats.writes += 1;
+        }
+        if o.hit {
+            self.stats.hits += 1;
+            self.stats.pos_hits[o.hit_pos as usize] += 1;
+        } else {
+            self.stats.misses += 1;
+            if o.writeback.is_some() {
+                self.stats.writebacks += 1;
+            }
+        }
+    }
+
+    /// Recency position of `way` in `set` (0 = MRU). Observability for the
+    /// differential checker's whole-state comparisons; not on the hot path.
+    pub fn lru_position_of(&self, set: u32, way: u8) -> u8 {
+        self.order.position_of(set as usize, way)
     }
 
     /// Non-mutating presence check (no recency update).
@@ -615,7 +649,7 @@ impl esteem_stats::StatsSource for SetAssocCache {
 }
 
 #[inline]
-fn full_mask(ways: u8) -> u64 {
+pub(crate) fn full_mask(ways: u8) -> u64 {
     if ways >= 64 {
         u64::MAX
     } else {

@@ -75,7 +75,7 @@ const NIB_HIGH: u64 = 0x8888_8888_8888_8888;
 /// once), so the lowest flagged nibble is exact: below the unique zero
 /// nibble no borrow is generated, hence no false positive below it.
 #[inline]
-fn packed_position_of(word: u64, way: u8) -> u8 {
+pub(crate) fn packed_position_of(word: u64, way: u8) -> u8 {
     let x = word ^ (NIB_ONES * u64::from(way));
     let flags = x.wrapping_sub(NIB_ONES) & !x & NIB_HIGH;
     crate::strict_assert!(flags != 0, "way {way} missing from packed order {word:#x}");
@@ -84,13 +84,33 @@ fn packed_position_of(word: u64, way: u8) -> u8 {
 
 /// Moves `way` to the MRU nibble of a packed order word.
 #[inline]
-fn packed_touch(word: u64, way: u8) -> u64 {
+pub(crate) fn packed_touch(word: u64, way: u8) -> u64 {
     let p = u32::from(packed_position_of(word, way));
     let shift = 4 * p;
     // Positions 0..p slide up one nibble; positions > p stay put.
     let below = word & ((1u64 << shift) - 1);
     let above = word & (!0u64).checked_shl(shift + 4).unwrap_or(0);
     above | (below << 4) | u64::from(way)
+}
+
+/// [`packed_touch`] that also returns the position `way` held before the
+/// move (the hit path needs both and should locate the way only once).
+#[inline]
+pub(crate) fn packed_touch_returning_pos(word: &mut u64, way: u8) -> u8 {
+    let (w, p) = packed_touch_with_pos(*word, way);
+    *word = w;
+    p
+}
+
+/// By-value [`packed_touch_returning_pos`]: the batch kernel keeps the
+/// order word in a register across an access and writes it back once.
+#[inline]
+pub(crate) fn packed_touch_with_pos(word: u64, way: u8) -> (u64, u8) {
+    let p = packed_position_of(word, way);
+    let shift = 4 * u32::from(p);
+    let below = word & ((1u64 << shift) - 1);
+    let above = word & (!0u64).checked_shl(shift + 4).unwrap_or(0);
+    (above | (below << 4) | u64::from(way), p)
 }
 
 /// Per-set recency storage for a whole cache: packed nibble words for
@@ -151,15 +171,7 @@ impl OrderStore {
     pub fn touch_returning_pos(&mut self, set: usize, way: u8) -> u8 {
         let ways = self.ways as usize;
         match &mut self.repr {
-            Repr::Packed(words) => {
-                let word = words[set];
-                let p = packed_position_of(word, way);
-                let shift = 4 * u32::from(p);
-                let below = word & ((1u64 << shift) - 1);
-                let above = word & (!0u64).checked_shl(shift + 4).unwrap_or(0);
-                words[set] = above | (below << 4) | u64::from(way);
-                p
-            }
+            Repr::Packed(words) => packed_touch_returning_pos(&mut words[set], way),
             Repr::Wide(bytes) => {
                 let order = &mut bytes[set * ways..(set + 1) * ways];
                 let p = position_of(order, way);
@@ -212,10 +224,142 @@ impl OrderStore {
         }
     }
 
+    /// Direct mutable view of the packed nibble words (`None` for the
+    /// byte-per-position repr). The L1 fast-path batch kernel hoists this
+    /// out of its inner loop to skip the per-access repr dispatch.
+    #[inline]
+    pub(crate) fn packed_words_mut(&mut self) -> Option<&mut [u64]> {
+        match &mut self.repr {
+            Repr::Packed(words) => Some(words),
+            Repr::Wide(_) => None,
+        }
+    }
+
     #[inline]
     fn wide_slice<'a>(&self, bytes: &'a [u8], set: usize) -> &'a [u8] {
         let a = self.ways as usize;
         &bytes[set * a..(set + 1) * a]
+    }
+
+    /// Splits the store into disjoint mutable views of `sets_per_shard`
+    /// consecutive sets each (the last shard may be shorter). Set indices
+    /// inside a shard are local (0 = the shard's first set). This is what
+    /// lets the batch kernel hand one module's recency state to one worker
+    /// thread without any locking: the views borrow non-overlapping ranges.
+    pub fn shard_views(&mut self, sets_per_shard: usize) -> Vec<OrderShard<'_>> {
+        assert!(sets_per_shard > 0);
+        let a = self.ways as usize;
+        match &mut self.repr {
+            Repr::Packed(words) => words
+                .chunks_mut(sets_per_shard)
+                .map(OrderShard::Packed)
+                .collect(),
+            Repr::Wide(bytes) => bytes
+                .chunks_mut(sets_per_shard * a)
+                .map(|chunk| OrderShard::Wide {
+                    bytes: chunk,
+                    ways: a,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Mutable recency view over one shard's contiguous run of sets (see
+/// [`OrderStore::shard_views`]). Operations mirror [`OrderStore`] exactly,
+/// with shard-local set indices.
+#[derive(Debug)]
+pub enum OrderShard<'a> {
+    Packed(&'a mut [u64]),
+    Wide { bytes: &'a mut [u8], ways: usize },
+}
+
+impl OrderShard<'_> {
+    #[inline]
+    pub fn position_of(&self, set: usize, way: u8) -> u8 {
+        match self {
+            OrderShard::Packed(words) => packed_position_of(words[set], way),
+            OrderShard::Wide { bytes, ways } => {
+                position_of(&bytes[set * ways..(set + 1) * ways], way)
+            }
+        }
+    }
+
+    #[inline]
+    pub fn touch(&mut self, set: usize, way: u8) {
+        match self {
+            OrderShard::Packed(words) => words[set] = packed_touch(words[set], way),
+            OrderShard::Wide { bytes, ways } => {
+                touch(&mut bytes[set * *ways..(set + 1) * *ways], way)
+            }
+        }
+    }
+
+    #[inline]
+    pub fn touch_returning_pos(&mut self, set: usize, way: u8) -> u8 {
+        match self {
+            OrderShard::Packed(words) => {
+                let word = words[set];
+                let p = packed_position_of(word, way);
+                let shift = 4 * u32::from(p);
+                let below = word & ((1u64 << shift) - 1);
+                let above = word & (!0u64).checked_shl(shift + 4).unwrap_or(0);
+                words[set] = above | (below << 4) | u64::from(way);
+                p
+            }
+            OrderShard::Wide { bytes, ways } => {
+                let order = &mut bytes[set * *ways..(set + 1) * *ways];
+                let p = position_of(order, way);
+                order.copy_within(0..p as usize, 1);
+                order[0] = way;
+                p
+            }
+        }
+    }
+
+    #[inline]
+    pub fn lru_victim(&self, set: usize, mask: u64, ways: u8) -> Option<u8> {
+        match self {
+            OrderShard::Packed(words) => {
+                let word = words[set];
+                for p in (0..u32::from(ways)).rev() {
+                    let w = ((word >> (4 * p)) & 0xF) as u8;
+                    if mask & (1u64 << w) != 0 {
+                        return Some(w);
+                    }
+                }
+                None
+            }
+            OrderShard::Wide { bytes, ways } => {
+                lru_victim(&bytes[set * ways..(set + 1) * ways], mask)
+            }
+        }
+    }
+
+    #[inline]
+    pub fn find_from_lru(
+        &self,
+        set: usize,
+        ways: u8,
+        mut pred: impl FnMut(u8) -> bool,
+    ) -> Option<u8> {
+        match self {
+            OrderShard::Packed(words) => {
+                let word = words[set];
+                for p in (0..u32::from(ways)).rev() {
+                    let w = ((word >> (4 * p)) & 0xF) as u8;
+                    if pred(w) {
+                        return Some(w);
+                    }
+                }
+                None
+            }
+            OrderShard::Wide { bytes, ways } => bytes[set * ways..(set + 1) * ways]
+                .iter()
+                .rev()
+                .copied()
+                .find(|&w| pred(w)),
+        }
     }
 }
 

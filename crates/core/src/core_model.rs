@@ -1,7 +1,7 @@
 //! Per-core execution state and cycle accounting.
 
-use esteem_cache::SetAssocCache;
-use esteem_workloads::{AccessStream, BenchmarkProfile, Bundle};
+use esteem_cache::{L1Rec, SetAssocCache};
+use esteem_workloads::{AccessStream, BenchmarkProfile, Bundle, MemRef};
 
 /// Fixed-point shift for per-core cycle accounting: cycles are tracked
 /// as `u64` in units of 2^-20 cycles (~1e-6 cycle resolution, headroom
@@ -27,8 +27,10 @@ pub const CYCLE_FP_ONE: u64 = 1 << CYCLE_FP_SHIFT;
 #[derive(Debug, Clone)]
 pub struct CoreState {
     pub id: u32,
-    stream: AccessStream,
-    pub l1d: SetAssocCache,
+    /// Workload stream + private L1D + prefetched access block. Wrapped in
+    /// an `Option` only so the simulator can move it onto a worker thread
+    /// for the refill barrier; it is `Some` at every observation point.
+    front: Option<FrontEnd>,
     /// Local clock in fixed-point units of 2^-20 cycles
     /// (see [`CYCLE_FP_SHIFT`]).
     pub cycles_fp: u64,
@@ -49,6 +51,101 @@ pub struct CoreState {
     fp_per_stall_cycle: f64,
 }
 
+/// The core's front end: workload stream, private L1D, and a block of
+/// *prefetched* bundles already run through the L1 batch kernel.
+///
+/// The simulator consumes `(bundle, l1_rec)` pairs one at a time via
+/// [`CoreState::next_access`]; when the buffer runs low,
+/// [`FrontEnd::top_up`] generates the next block of bundles and pushes
+/// their memory references through
+/// [`SetAssocCache::access_batch_l1`] — the compact single-module
+/// specialisation of [`SetAssocCache::access_batch`] — in one call.
+/// Because the L1 has no retention clock and its lifetime stats are
+/// applied at *consume* time ([`SetAssocCache::apply_rec_stats`]),
+/// running the L1 ahead of the core's clock is unobservable — every
+/// externally visible number is identical to the one-access-at-a-time
+/// path (pinned by the golden-report and determinism tests).
+///
+/// The front end is self-contained (stream RNG + L1 state + buffers), so
+/// the simulator can `take` it onto a worker thread for the refill and
+/// merge it back at the barrier with bit-identical results at any thread
+/// count.
+#[derive(Debug, Clone)]
+pub struct FrontEnd {
+    stream: AccessStream,
+    l1d: SetAssocCache,
+    /// Prefetched bundles in struct-of-arrays form, 13 bytes per bundle:
+    /// the packed `(block, write)` encoding the kernel consumes, the
+    /// instruction count, and the byte-sized L1 outcome. Keeping the
+    /// buffers this small is what keeps a refill pass CPU-cache-resident
+    /// next to the simulator's L2 model.
+    enc: Vec<u64>,
+    instrs: Vec<u32>,
+    recs: Vec<L1Rec>,
+    /// Dirty-eviction block addresses, in access order (rare, so they ride
+    /// in a side vector instead of widening every record).
+    wbs: Vec<u64>,
+    wb_cursor: usize,
+    /// Next unconsumed index.
+    cursor: usize,
+    /// Buffered-bundle level that triggers a refill at a quantum start
+    /// (sized to cover a typical quantum; an atypical one falls back to an
+    /// inline [`FrontEnd::top_up`] with identical content).
+    reserve: usize,
+    /// Buffer size to generate up to when topping up.
+    target: usize,
+}
+
+impl FrontEnd {
+    fn new(stream: AccessStream, l1d: SetAssocCache) -> Self {
+        assert!(
+            l1d.supports_l1_batch(),
+            "core L1s must qualify for the compact batch kernel"
+        );
+        Self {
+            stream,
+            l1d,
+            enc: Vec::new(),
+            instrs: Vec::new(),
+            recs: Vec::new(),
+            wbs: Vec::new(),
+            wb_cursor: 0,
+            cursor: 0,
+            reserve: 1,
+            target: 256,
+        }
+    }
+
+    #[inline]
+    fn buffered(&self) -> usize {
+        self.enc.len() - self.cursor
+    }
+
+    /// Refills the prefetch buffer to `target` bundles if fewer than
+    /// `reserve` remain: drains the consumed prefix, generates fresh
+    /// bundles, and runs their memory references through the L1 batch
+    /// kernel in one call.
+    pub fn top_up(&mut self) {
+        if self.buffered() >= self.reserve {
+            return;
+        }
+        if self.cursor > 0 {
+            self.enc.drain(..self.cursor);
+            self.instrs.drain(..self.cursor);
+            self.recs.drain(..self.cursor);
+            self.wbs.drain(..self.wb_cursor);
+            self.cursor = 0;
+            self.wb_cursor = 0;
+        }
+        let fresh = self.enc.len();
+        self.stream
+            .fill_encoded(&mut self.enc, &mut self.instrs, self.target);
+        self.l1d
+            .access_batch_l1(&self.enc[fresh..], &mut self.recs, &mut self.wbs);
+        debug_assert_eq!(self.enc.len(), self.recs.len());
+    }
+}
+
 impl CoreState {
     pub fn new(
         id: u32,
@@ -59,8 +156,7 @@ impl CoreState {
     ) -> Self {
         Self {
             id,
-            stream: AccessStream::new(profile, id, seed),
-            l1d,
+            front: Some(FrontEnd::new(AccessStream::new(profile, id, seed), l1d)),
             cycles_fp: 0,
             instructions: 0,
             instrs_at_warmup: None,
@@ -104,15 +200,173 @@ impl CoreState {
         self.cycles_at_target.is_some()
     }
 
-    /// Pulls the next bundle and charges its execution cycles; the memory
-    /// reference is returned for the system to route through the
+    /// Pulls the next bundle *directly from the stream* (bypassing the
+    /// prefetch buffer) and charges its execution cycles; the memory
+    /// reference is returned for the caller to route through the
     /// hierarchy. Call [`Self::stall`] with the resulting visible latency.
+    ///
+    /// Unit-test path: do not mix with [`Self::next_access`] — the
+    /// simulator drives cores exclusively through the batched front end.
     #[inline]
     pub fn fetch_bundle(&mut self) -> Bundle {
-        let b = self.stream.next_bundle();
+        let b = self
+            .front
+            .as_mut()
+            .expect("front-end present")
+            .stream
+            .next_bundle();
         self.cycles_fp += u64::from(b.instrs) * self.cpi_fp;
         self.instructions += u64::from(b.instrs);
         b
+    }
+
+    /// Pops the next prefetched `(bundle, L1 rec)` pair, charging the
+    /// bundle's execution cycles and folding the rec into the L1's
+    /// lifetime stats (stats are deferred to consume time so prefetching
+    /// ahead of the core's clock never shows up in any counter).
+    #[inline]
+    pub fn next_access(&mut self) -> (Bundle, L1Rec) {
+        let fe = self.front.as_mut().expect("front-end present");
+        if fe.cursor >= fe.enc.len() {
+            // The quantum outran the buffered reserve (or the caller
+            // skipped [`Self::configure_block`]): refill inline. The batch
+            // is pure core-local state, so the content is identical no
+            // matter where the refill happens.
+            fe.top_up();
+        }
+        let enc = fe.enc[fe.cursor];
+        let instrs = fe.instrs[fe.cursor];
+        let r = fe.recs[fe.cursor];
+        fe.cursor += 1;
+        let write = enc & 1 != 0;
+        fe.l1d.apply_rec_stats(r, write);
+        self.cycles_fp += u64::from(instrs) * self.cpi_fp;
+        self.instructions += u64::from(instrs);
+        (
+            Bundle {
+                instrs,
+                mem: MemRef {
+                    block: enc >> 1,
+                    write,
+                },
+            },
+            r,
+        )
+    }
+
+    /// Consumes prefetched bundles until the quantum boundary `qend_fp`,
+    /// a measurement-target break (single-core runs), or an L1 miss.
+    ///
+    /// L1 hits — the overwhelmingly common case — are folded entirely
+    /// inside this loop: stats, cycle/instruction accounting, and the
+    /// target check never leave the core's own state, so the simulator
+    /// pays the cross-struct dispatch (`self.cores[i]`, L2 borrow) only
+    /// on misses. A returned miss has had its execution cycles charged
+    /// and stats applied, but *not* its [`Self::note_progress`] — the
+    /// caller performs the stall first, exactly like the one-at-a-time
+    /// path did.
+    #[inline]
+    pub fn run_hits(&mut self, qend_fp: u64, single: bool) -> Option<(Bundle, L1Rec)> {
+        let fe = self.front.as_mut().expect("front-end present");
+        loop {
+            if self.cycles_fp >= qend_fp || (single && self.cycles_at_target.is_some()) {
+                return None;
+            }
+            if fe.cursor >= fe.enc.len() {
+                // Quantum outran the reserve: refill inline (same content
+                // regardless of where the refill happens).
+                fe.top_up();
+            }
+            let enc = fe.enc[fe.cursor];
+            let instrs = fe.instrs[fe.cursor];
+            let r = fe.recs[fe.cursor];
+            fe.cursor += 1;
+            let write = enc & 1 != 0;
+            fe.l1d.apply_rec_stats(r, write);
+            self.cycles_fp += u64::from(instrs) * self.cpi_fp;
+            self.instructions += u64::from(instrs);
+            if !r.hit() {
+                return Some((
+                    Bundle {
+                        instrs,
+                        mem: MemRef {
+                            block: enc >> 1,
+                            write,
+                        },
+                    },
+                    r,
+                ));
+            }
+            // `note_progress`, inlined so the front-end borrow can stay
+            // live across iterations.
+            if self.cycles_at_target.is_none() {
+                if let Some(w) = self.instrs_at_warmup {
+                    if self.instructions >= w + self.target_instructions {
+                        self.cycles_at_target = Some(self.cycles_fp);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pops the next dirty-eviction block address. Must be called exactly
+    /// once, in order, for each consumed rec with
+    /// [`L1Rec::has_writeback`] set (the simulator's miss path).
+    #[inline]
+    pub fn pop_writeback(&mut self) -> u64 {
+        let fe = self.front.as_mut().expect("front-end present");
+        let wb = fe.wbs[fe.wb_cursor];
+        fe.wb_cursor += 1;
+        wb
+    }
+
+    /// Sizes the prefetch block: the refill trigger covers a typical
+    /// quantum's bundle consumption (capped so the buffers stay
+    /// CPU-cache-resident — an atypical quantum falls back to an inline
+    /// refill with identical content), and each top-up generates a few
+    /// thousand bundles to amortise the batch-kernel entry.
+    pub fn configure_block(&mut self, quantum_cycles: u64) {
+        let fe = self.front.as_mut().expect("front-end present");
+        // Upper bound on one quantum's bundle consumption (a bundle
+        // carries >= 1 instruction and stalls only lengthen a quantum).
+        let per_quantum = (quantum_cycles << CYCLE_FP_SHIFT) / self.cpi_fp + 2;
+        fe.reserve = (per_quantum as usize).min(1024);
+        fe.target = fe.reserve + 4096;
+    }
+
+    /// Whether the prefetch buffer has dropped below its quantum reserve.
+    #[inline]
+    pub fn front_needs_top_up(&self) -> bool {
+        let fe = self.front.as_ref().expect("front-end present");
+        fe.buffered() < fe.reserve
+    }
+
+    /// Refills the prefetch buffer in place (no-op while it still holds
+    /// the quantum reserve).
+    pub fn top_up_front(&mut self) {
+        self.front.as_mut().expect("front-end present").top_up();
+    }
+
+    /// Detaches the front end (for a worker-thread refill). The core must
+    /// not execute or be sampled until [`Self::put_front`] restores it.
+    pub fn take_front(&mut self) -> FrontEnd {
+        self.front.take().expect("front-end present")
+    }
+
+    pub fn put_front(&mut self, fe: FrontEnd) {
+        debug_assert!(self.front.is_none(), "front-end already present");
+        self.front = Some(fe);
+    }
+
+    /// The core's private L1D.
+    #[inline]
+    pub fn l1d(&self) -> &SetAssocCache {
+        &self.front.as_ref().expect("front-end present").l1d
+    }
+
+    #[inline]
+    pub fn l1d_mut(&mut self) -> &mut SetAssocCache {
+        &mut self.front.as_mut().expect("front-end present").l1d
     }
 
     /// Charges a memory stall of `latency` raw cycles, applying the
@@ -147,7 +401,11 @@ impl CoreState {
     }
 
     pub fn profile(&self) -> &BenchmarkProfile {
-        self.stream.profile()
+        self.front
+            .as_ref()
+            .expect("front-end present")
+            .stream
+            .profile()
     }
 }
 
@@ -157,7 +415,7 @@ impl esteem_stats::StatsSource for CoreState {
     fn collect(&self, out: &mut esteem_stats::Scope<'_>) {
         out.counter("instructions", self.instructions);
         out.counter("cycles_fp", self.cycles_fp);
-        out.register("l1", &self.l1d);
+        out.register("l1", self.l1d());
     }
 }
 
@@ -168,7 +426,11 @@ mod tests {
     use esteem_workloads::benchmark_by_name;
 
     fn l1() -> SetAssocCache {
-        SetAssocCache::new(CacheGeometry::from_capacity(32 << 10, 4, 64, 1, 1), None)
+        let mut c = SetAssocCache::new(CacheGeometry::from_capacity(32 << 10, 4, 64, 1, 1), None);
+        // Mirror the simulator's L1 construction: no retention clocks, so
+        // the front end qualifies for the compact batch kernel.
+        c.set_retention_tracking(false);
+        c
     }
 
     #[test]

@@ -1,19 +1,22 @@
 //! The multicore system simulator.
 
-use esteem_cache::SetAssocCache;
+use std::sync::{Arc, Mutex};
+
+use esteem_cache::{AccessOutcome, L1Rec, SetAssocCache};
 use esteem_edram::{BankContention, RefreshEngine};
 use esteem_energy::{EnergyBreakdown, EnergyInputs, EnergyParams};
 use esteem_mem::MainMemory;
+use esteem_par::WorkerPool;
 use esteem_stats::{
     Counter, IntervalObserver, IntervalSample, StatsReading, StatsRegistry, StatsSource,
     TimeWeighted,
 };
 use esteem_trace::{prof_span, EventKind, TraceEvent, Tracer};
-use esteem_workloads::BenchmarkProfile;
+use esteem_workloads::{BenchmarkProfile, Bundle};
 
 use crate::config::SystemConfig;
 use crate::controller::{self, CacheController, IntervalCtx};
-use crate::core_model::{CoreState, CYCLE_FP_SHIFT};
+use crate::core_model::{CoreState, FrontEnd, CYCLE_FP_SHIFT};
 use crate::report::{CoreReport, SimReport};
 
 /// Deterministic trace-driven multicore simulator.
@@ -66,6 +69,22 @@ pub struct Simulator {
     /// Reusable buffer for per-bank refresh drains (avoids a Vec
     /// allocation every contention window).
     bank_refresh_scratch: Vec<u64>,
+    /// Deferred refresh-scheduler access feed: `(outcome, cycle)` per L2
+    /// access this quantum, drained in one batch at the quantum boundary
+    /// (only populated when the active policy consults access times —
+    /// see [`RefreshEngine::needs_access_feed`]).
+    refresh_feed: Vec<(AccessOutcome, u64)>,
+    feed_refresh: bool,
+    /// Deferred per-bank L2 access counts for this quantum, folded into
+    /// the contention tracker in one batch at the quantum boundary. The
+    /// modelled wait is constant within a contention window, so deferring
+    /// the counting is byte-identical to per-access recording.
+    bank_counts: Vec<u64>,
+    /// Worker pool for the threaded front-end refill (`--threads N`);
+    /// `None` runs refills inline on the simulation thread.
+    pool: Option<WorkerPool>,
+    /// One hand-off slot per core for refilled front ends.
+    front_slots: Vec<Arc<Mutex<Option<FrontEnd>>>>,
     /// Warm-up reading and measured-region delta handling.
     registry: StatsRegistry,
     /// Trace tap (disabled by default; see [`Simulator::with_tracer`]).
@@ -98,16 +117,22 @@ impl Simulator {
             .with_params(2.0, cfg.bank_burst_lines);
         let mem = MainMemory::new(cfg.mem, cfg.retention.period_cycles);
         let controller = controller::for_technique(&cfg.technique);
-        let cores = profiles
+        let cores: Vec<CoreState> = profiles
             .iter()
             .enumerate()
             .map(|(i, p)| {
                 // The SRAM L1s have no retention clock to maintain.
                 let mut l1 = SetAssocCache::new(cfg.l1_geometry(), None);
                 l1.set_retention_tracking(false);
-                CoreState::new(i as u32, p, l1, cfg.sim_instructions, cfg.seed)
+                let mut c = CoreState::new(i as u32, p, l1, cfg.sim_instructions, cfg.seed);
+                // One front-end refill per quantum covers the whole
+                // quantum's bundle consumption.
+                c.configure_block(cfg.quantum_cycles);
+                c
             })
             .collect();
+        let feed_refresh = refresh.needs_access_feed();
+        let bank_counts = vec![0u64; cfg.l2_banks as usize];
         let next_window = cfg.retention.period_cycles;
         let obs_period = controller
             .interval_cycles()
@@ -128,6 +153,11 @@ impl Simulator {
             reconfig_writebacks: Counter::new(),
             reconfig_discards: Counter::new(),
             bank_refresh_scratch: Vec::new(),
+            refresh_feed: Vec::new(),
+            feed_refresh,
+            bank_counts,
+            pool: None,
+            front_slots: Vec::new(),
             registry: StatsRegistry::new(),
             tracer: Tracer::off(),
             observer: None,
@@ -142,6 +172,30 @@ impl Simulator {
     pub fn single(cfg: SystemConfig, profile: &BenchmarkProfile) -> Self {
         let label = profile.name.to_owned();
         Self::new(cfg, std::slice::from_ref(profile), &label)
+    }
+
+    /// Spreads the per-quantum front-end refills (workload generation +
+    /// L1 batch kernel) over `threads` worker threads (builder style).
+    /// Each front end is self-contained core-local state and the merge
+    /// happens at a barrier before any core executes, so reports are
+    /// byte-identical at any thread count (pinned by a harness test).
+    /// `threads <= 1` keeps everything on the simulation thread.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        if threads > 1 && self.cores.len() > 1 {
+            self.pool = Some(WorkerPool::new(
+                threads.min(self.cores.len()),
+                self.cores.len(),
+            ));
+            self.front_slots = self
+                .cores
+                .iter()
+                .map(|_| Arc::new(Mutex::new(None)))
+                .collect();
+        } else {
+            self.pool = None;
+            self.front_slots = Vec::new();
+        }
+        self
     }
 
     /// Attaches a per-interval observer (builder style). At most one;
@@ -210,8 +264,16 @@ impl Simulator {
     /// fetch on miss.
     fn l2_access(&mut self, block: u64, write: bool, full_line_write: bool, now: u64) -> f64 {
         let out = self.l2.access(block, write, now);
-        self.refresh.on_access(&out, now);
-        let wait = self.contention.access(out.bank);
+        // Refresh-scheduler touches and bank access counts are deferred to
+        // a single batch drain at the quantum boundary: nothing reads
+        // either before then, and the modelled bank wait is constant
+        // within a contention window, so `peek_wait` here returns exactly
+        // what the recording `access` call would have.
+        if self.feed_refresh {
+            self.refresh_feed.push((out, now));
+        }
+        let wait = self.contention.peek_wait(out.bank);
+        self.bank_counts[out.bank as usize] += 1;
         let mut lat = f64::from(self.cfg.l2_latency) + wait;
         if !out.hit {
             if !full_line_write {
@@ -224,28 +286,62 @@ impl Simulator {
         lat
     }
 
-    /// Executes one instruction bundle on core `i`.
-    fn step_core(&mut self, i: usize) {
-        // Borrow the core once: the (dominant) L1-hit path never touches
-        // the rest of the system, so it stays free of repeated indexing.
-        let core = &mut self.cores[i];
-        let bundle = core.fetch_bundle();
-        let now = core.cycle();
-        let l1 = core.l1d.access(bundle.mem.block, bundle.mem.write, now);
-        if l1.hit {
-            core.note_progress();
-            return;
-        }
+    /// Services one L1 miss on core `i` (the core has already charged the
+    /// bundle's execution cycles via [`CoreState::run_hits`]).
+    fn miss_path(&mut self, i: usize, bundle: &Bundle, l1: L1Rec) {
+        let now = self.cores[i].cycle();
         // Demand fill: the L2 copy stays clean (write-back L1 owns the
         // dirtiness until eviction).
         let lat = self.l2_access(bundle.mem.block, false, false, now);
         let overlap = self.cfg.overlap_cycles;
         self.cores[i].stall(lat, overlap);
         // Evicted dirty L1 line: posted full-line write to the L2.
-        if let Some(wb) = l1.writeback {
+        if l1.has_writeback() {
+            let wb = self.cores[i].pop_writeback();
             let _ = self.l2_access(wb, true, true, now);
         }
         self.cores[i].note_progress();
+    }
+
+    /// Tops up every core's front end at a quantum start — inline, or
+    /// spread over the worker pool with a barrier before any core
+    /// executes. Each front end is pure core-local state, so the merge is
+    /// deterministic regardless of worker scheduling.
+    fn refill_fronts(&mut self) {
+        prof_span!(self.tracer, "block.refill");
+        let Some(pool) = &self.pool else {
+            for core in &mut self.cores {
+                core.top_up_front();
+            }
+            return;
+        };
+        let mut outstanding = false;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            if core.front_needs_top_up() {
+                let mut fe = core.take_front();
+                let slot = Arc::clone(&self.front_slots[i]);
+                pool.submit(Box::new(move || {
+                    fe.top_up();
+                    *slot.lock().expect("front slot poisoned") = Some(fe);
+                }))
+                .expect("refill pool rejected a job");
+                outstanding = true;
+            }
+        }
+        if outstanding {
+            prof_span!(self.tracer, "block.barrier");
+            pool.wait_idle();
+            assert_eq!(pool.panics(), 0, "front-end refill worker panicked");
+            for (i, core) in self.cores.iter_mut().enumerate() {
+                if let Some(fe) = self.front_slots[i]
+                    .lock()
+                    .expect("front slot poisoned")
+                    .take()
+                {
+                    core.put_front(fe);
+                }
+            }
+        }
     }
 
     /// Whether interval samples need to be computed — for an attached
@@ -254,8 +350,22 @@ impl Simulator {
         self.observer.is_some() || self.tracer.enabled(EventKind::Interval)
     }
 
+    /// Flushes the quantum's deferred access feeds into the refresh
+    /// scheduler and contention tracker — must run before anything reads
+    /// either (refresh advance, window roll, controller).
+    fn drain_access_feeds(&mut self) {
+        if !self.refresh_feed.is_empty() {
+            prof_span!(self.tracer, "refresh.batch_drain");
+            self.refresh.on_access_batch(&self.refresh_feed);
+            self.refresh_feed.clear();
+        }
+        self.contention.record_accesses(&self.bank_counts);
+        self.bank_counts.fill(0);
+    }
+
     /// End-of-quantum housekeeping at time `qend`.
     fn quantum_end(&mut self, qend: u64) {
+        self.drain_access_feeds();
         let refreshed = self.refresh.advance(&mut self.l2, qend);
         if refreshed.refreshes > 0 || refreshed.invalidations > 0 {
             self.tracer
@@ -381,16 +491,18 @@ impl Simulator {
         // early finishers keep executing, per the paper's methodology.
         let single = self.cores.len() == 1;
         while self.cores.iter().any(|c| !c.reached_target()) {
+            // Refill every front end up front: the reserve bounds one
+            // quantum's consumption, so cores never refill mid-quantum —
+            // which is what lets the refills run on worker threads with a
+            // single barrier and still merge deterministically.
+            self.refill_fronts();
             let qend = self.clock + self.cfg.quantum_cycles;
             // Quantum boundary in fixed-point units: the inner loop is a
             // pure integer compare per instruction bundle.
             let qend_fp = qend << CYCLE_FP_SHIFT;
             for i in 0..self.cores.len() {
-                while self.cores[i].cycles_fp < qend_fp {
-                    if single && self.cores[i].reached_target() {
-                        break;
-                    }
-                    self.step_core(i);
+                while let Some((bundle, l1)) = self.cores[i].run_hits(qend_fp, single) {
+                    self.miss_path(i, &bundle, l1);
                 }
             }
             self.quantum_end(qend);
@@ -447,8 +559,8 @@ impl Simulator {
                     as f64
                     / crate::core_model::CYCLE_FP_ONE as f64,
                 ipc: c.ipc(),
-                l1_hits: c.l1d.stats.hits,
-                l1_misses: c.l1d.stats.misses,
+                l1_hits: c.l1d().stats.hits,
+                l1_misses: c.l1d().stats.misses,
             })
             .collect();
         let intervals_logged = warm.counter("controller/intervals") as usize;

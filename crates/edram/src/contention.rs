@@ -78,6 +78,18 @@ impl BankContention {
         self.wait[bank as usize]
     }
 
+    /// Batch counterpart of [`Self::access`]: folds a block's per-bank
+    /// access counts in at once. The wait estimate is constant within a
+    /// window (it only changes at [`Self::roll_window`]), so callers that
+    /// read [`Self::peek_wait`] per access and defer the counting to an
+    /// end-of-block drain observe exactly the per-access behaviour.
+    pub fn record_accesses(&mut self, counts: &[u64]) {
+        assert_eq!(counts.len(), self.cur_accesses.len());
+        for (cur, &c) in self.cur_accesses.iter_mut().zip(counts) {
+            *cur += c;
+        }
+    }
+
     /// Closes windows up to `now`, folding in the per-bank refresh counts
     /// accumulated over the same span (from
     /// [`RefreshEngine::drain_bank_refreshes`](crate::RefreshEngine::drain_bank_refreshes)).
@@ -189,6 +201,24 @@ mod tests {
         idle.roll_window(10_000, &[1000]);
         busy.roll_window(10_000, &[1000]);
         assert!(busy.peek_wait(0) > idle.peek_wait(0));
+    }
+
+    #[test]
+    fn batched_counts_match_per_access_recording() {
+        let mut scalar = BankContention::new(2, 10_000);
+        let mut batched = BankContention::new(2, 10_000);
+        for _ in 0..4000 {
+            scalar.access(0);
+        }
+        for _ in 0..700 {
+            scalar.access(1);
+        }
+        batched.record_accesses(&[4000, 700]);
+        scalar.roll_window(10_000, &[1000, 1000]);
+        batched.roll_window(10_000, &[1000, 1000]);
+        assert_eq!(scalar.peek_wait(0), batched.peek_wait(0));
+        assert_eq!(scalar.peek_wait(1), batched.peek_wait(1));
+        assert_eq!(scalar.mean_utilization(), batched.mean_utilization());
     }
 
     #[test]

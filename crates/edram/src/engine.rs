@@ -108,6 +108,30 @@ impl RefreshEngine {
         o.set * u32::from(self.ways) + u32::from(o.way)
     }
 
+    /// Whether [`Self::on_access`] has any effect under the active policy.
+    /// Only the polyphase policies keep a per-line refresh schedule that
+    /// demand accesses postpone; for the periodic policies the batched
+    /// hot path can skip buffering access events entirely.
+    #[inline]
+    pub fn needs_access_feed(&self) -> bool {
+        self.sched.is_some()
+    }
+
+    /// Batch counterpart of [`Self::on_access`]: replays a block's worth
+    /// of `(outcome, cycle)` events in order. Because `on_access` only
+    /// touches the polyphase schedule — which nothing reads until the next
+    /// [`Self::advance`] — deferring the events to an end-of-block drain
+    /// is observationally identical to feeding them per access.
+    pub fn on_access_batch(&mut self, events: &[(AccessOutcome, u64)]) {
+        let Some(sched) = &mut self.sched else {
+            return;
+        };
+        for (o, cycle) in events {
+            let id = o.set * u32::from(self.ways) + u32::from(o.way);
+            sched.touch(id, *cycle);
+        }
+    }
+
     /// Reports an invalidation performed outside the engine (way turn-off
     /// during reconfiguration): the line no longer needs refreshing.
     #[inline]
@@ -348,6 +372,46 @@ mod tests {
         let mut e = RefreshEngine::new(RefreshPolicy::PeriodicValid, ret(1000), &c);
         let r = e.advance(&mut c, 1000);
         assert_eq!(r.refreshes, 10);
+    }
+
+    #[test]
+    fn access_feed_needed_only_for_polyphase() {
+        let c = cache();
+        for (policy, needed) in [
+            (RefreshPolicy::NoRefresh, false),
+            (RefreshPolicy::PeriodicAll, false),
+            (RefreshPolicy::PeriodicValid, false),
+            (RefreshPolicy::RPV, true),
+        ] {
+            let e = RefreshEngine::new(policy, ret(1000), &c);
+            assert_eq!(e.needs_access_feed(), needed, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn batched_access_feed_matches_per_access_feed() {
+        let mut c1 = cache();
+        let mut c2 = c1.clone();
+        let mut scalar = RefreshEngine::new(RefreshPolicy::RPV, ret(1000), &c1);
+        let mut batched = RefreshEngine::new(RefreshPolicy::RPV, ret(1000), &c2);
+        let mut events = Vec::new();
+        for t in 0..200u64 {
+            let b = c1.geometry().block_of(t % 9, (t * 7 % 64) as u32);
+            let now = t * 37;
+            let o1 = c1.access(b, t % 3 == 0, now);
+            scalar.on_access(&o1, now);
+            let o2 = c2.access(b, t % 3 == 0, now);
+            assert_eq!(o1, o2);
+            events.push((o2, now));
+        }
+        batched.on_access_batch(&events);
+        let r1 = scalar.advance(&mut c1, 20_000);
+        let r2 = batched.advance(&mut c2, 20_000);
+        assert_eq!(r1, r2);
+        assert_eq!(
+            scalar.drain_bank_refreshes(),
+            batched.drain_bank_refreshes()
+        );
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub enum DueAction {
 /// Sentinel meaning "not scheduled".
 const UNSCHEDULED: u32 = u32::MAX;
 
+/// How many entries ahead the drain passes software-prefetch. Far enough
+/// to cover an L3/memory load, near enough that the touched lines are
+/// still cached when the walk arrives.
+const DRAIN_LOOKAHEAD: usize = 8;
+
 /// Division by a fixed phase length via a precomputed 64-bit reciprocal.
 ///
 /// `magic = ceil(2^64 / d)`, so `(x * magic) >> 64 = floor(x/d)` whenever
@@ -190,6 +195,12 @@ impl PolyphaseScheduler {
             std::mem::swap(&mut entries, &mut self.ring[b]);
             let mut kept = 0usize;
             for i in 0..entries.len() {
+                // The due-cycle lookups hit `due` in schedule order —
+                // random in memory; pull the entry a few iterations ahead
+                // into cache while this one resolves.
+                if let Some(&ahead) = entries.get(i + DRAIN_LOOKAHEAD) {
+                    esteem_cache::prefetch_read(&self.due[ahead as usize]);
+                }
                 let line = entries[i];
                 let d = self.due[line as usize];
                 if d != bq as u32 {

@@ -7,9 +7,13 @@
 //!
 //! 1. `cache_access_ns_per_op` — one `SetAssocCache::access` on the paper's
 //!    4 MB 16-way L2 geometry, driven by a pre-generated workload stream;
-//! 2. `refresh_advance_ns_per_period` — one `RefreshEngine::advance` over a
+//! 2. `batch_kernel_ns_per_access` — the compact L1 batch kernel
+//!    `SetAssocCache::access_batch_l1` fed refill-sized blocks of
+//!    pre-encoded accesses (the struct-of-arrays hot path every core
+//!    bundle runs);
+//! 3. `refresh_advance_ns_per_period` — one `RefreshEngine::advance` over a
 //!    retention period (periodic-valid policy, the ESTEEM/baseline path);
-//! 3. `sim_minstr_per_s` — end-to-end simulated instructions per wall
+//! 4. `sim_minstr_per_s` — end-to-end simulated instructions per wall
 //!    second on a small Figure-3 subset (baseline + ESTEEM + RPV), the
 //!    number that bounds every figure/table sweep.
 //!
@@ -76,6 +80,42 @@ fn bench_cache_access(ops: u64) -> f64 {
     }
     let elapsed = started.elapsed();
     assert!(hits > 0, "stream must hit the cache");
+    elapsed.as_nanos() as f64 / ops as f64
+}
+
+/// Batch-kernel latency: ns per access through the compact L1 kernel
+/// `SetAssocCache::access_batch_l1` — the struct-of-arrays hot path every
+/// core bundle takes — on the simulator's L1 geometry (32 KB, 4-way,
+/// single module), fed in refill-sized blocks of pre-encoded accesses.
+fn bench_batch_kernel(ops: u64) -> f64 {
+    use esteem_cache::{encode_l1_access, L1Rec};
+    const BLOCK: usize = 256;
+    let geom = CacheGeometry::from_capacity(32 << 10, 4, 64, 1, 1);
+    let mut cache = SetAssocCache::new(geom, None);
+    cache.set_retention_tracking(false);
+    assert!(cache.supports_l1_batch(), "L1 must take the compact kernel");
+    let profile = benchmark_by_name("gcc").expect("known benchmark");
+    let mut stream = AccessStream::new(&profile, 0, 1);
+    let encoded: Vec<u64> = (0..ops)
+        .map(|_| {
+            let b = stream.next_bundle();
+            encode_l1_access(b.mem.block, b.mem.write)
+        })
+        .collect();
+    let mut recs: Vec<L1Rec> = Vec::new();
+    let mut wbs: Vec<u64> = Vec::new();
+    let started = Instant::now();
+    let mut hits = 0u64;
+    for chunk in encoded.chunks(BLOCK) {
+        cache.access_batch_l1(chunk, &mut recs, &mut wbs);
+        // Consume and recycle the records each block, as the simulator
+        // does, so the buffers stay cache-resident instead of growing.
+        hits += recs.iter().filter(|r| r.hit()).count() as u64;
+        recs.clear();
+        wbs.clear();
+    }
+    let elapsed = started.elapsed();
+    assert!(hits > 0, "stream must hit the L1");
     elapsed.as_nanos() as f64 / ops as f64
 }
 
@@ -147,13 +187,16 @@ fn main() -> ExitCode {
         (8_000_000, 5_000, &["gcc", "gamess", "milc"])
     };
 
-    eprintln!("[1/3] cache access ({cache_ops} ops)...");
+    eprintln!("[1/4] cache access ({cache_ops} ops)...");
     let cache_ns = bench_cache_access(cache_ops);
     eprintln!("      {cache_ns:.1} ns/op");
-    eprintln!("[2/3] refresh advance ({refresh_periods} periods)...");
+    eprintln!("[2/4] batch kernel ({cache_ops} accesses)...");
+    let batch_ns = bench_batch_kernel(cache_ops);
+    eprintln!("      {batch_ns:.1} ns/access");
+    eprintln!("[3/4] refresh advance ({refresh_periods} periods)...");
     let refresh_ns = bench_refresh_advance(refresh_periods);
     eprintln!("      {refresh_ns:.1} ns/period");
-    eprintln!("[3/3] end-to-end sim throughput ({benches:?} x 3 techniques)...");
+    eprintln!("[4/4] end-to-end sim throughput ({benches:?} x 3 techniques)...");
     let (minstr_per_s, e2e_seconds) = bench_end_to_end(benches);
     eprintln!("      {minstr_per_s:.1} Minstr/s ({e2e_seconds:.2}s wall)");
 
@@ -161,10 +204,11 @@ fn main() -> ExitCode {
     let json = format!(
         "{{\n  \"bench\": \"hotpath\",\n  \"quick\": {},\n  \
          \"cache_access_ns_per_op\": {:.3},\n  \
+         \"batch_kernel_ns_per_access\": {:.3},\n  \
          \"refresh_advance_ns_per_period\": {:.1},\n  \
          \"sim_minstr_per_s\": {:.2},\n  \
          \"e2e_seconds\": {:.3}\n}}\n",
-        args.quick, cache_ns, refresh_ns, minstr_per_s, e2e_seconds
+        args.quick, cache_ns, batch_ns, refresh_ns, minstr_per_s, e2e_seconds
     );
     match std::fs::write(&args.out, &json) {
         Ok(()) => eprintln!("wrote {}", args.out),

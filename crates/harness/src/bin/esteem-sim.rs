@@ -12,6 +12,9 @@
 //!   --ecc-periods <k> --ecc-bits <b>     (ecc technique)
 //!   --ways <n>                fixed way count (static technique, default 4)
 //!   --seed <n>
+//!   --threads <n>             worker threads for the front-end refill
+//!                             (default: ESTEEM_THREADS, else 1; reports
+//!                             are byte-identical at any thread count)
 //!   --json                    print the report as JSON
 //!   --interval-log <file>     stream one JSONL record per interval
 //!   --trace <file>            export a trace: .json -> Chrome trace-event
@@ -48,6 +51,7 @@ struct Args {
     ecc_bits: u8,
     ways: u8,
     seed: u64,
+    threads: usize,
     json: bool,
     interval_log: Option<String>,
     trace: Option<String>,
@@ -72,6 +76,7 @@ impl Default for Args {
             ecc_bits: 1,
             ways: 4,
             seed: 1,
+            threads: 0,
             json: false,
             interval_log: None,
             trace: None,
@@ -143,6 +148,14 @@ fn parse() -> Result<Args, String> {
                 a.seed = next(&mut it, "--seed")?
                     .parse()
                     .map_err(|e| format!("{e}"))?
+            }
+            "--threads" => {
+                a.threads = next(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if a.threads == 0 {
+                    return Err("--threads must be positive".into());
+                }
             }
             "--json" => a.json = true,
             "--interval-log" => a.interval_log = Some(next(&mut it, "--interval-log")?),
@@ -265,7 +278,18 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let mut sim = Simulator::new(cfg, &profiles, &label);
+    // `--threads 0` is rejected at parse time, so 0 here means the flag
+    // was absent: fall back to ESTEEM_THREADS (via esteem-par), keeping
+    // serial the default when neither is given. Thread count is pure
+    // throughput knob — the report is byte-identical either way.
+    let threads = if args.threads > 0 {
+        args.threads
+    } else if std::env::var_os("ESTEEM_THREADS").is_some() {
+        esteem_par::default_threads()
+    } else {
+        1
+    };
+    let mut sim = Simulator::new(cfg, &profiles, &label).with_threads(threads);
     if let Some(path) = &args.interval_log {
         let file = match std::fs::File::create(path) {
             Ok(f) => f,

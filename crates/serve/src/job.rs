@@ -36,6 +36,12 @@ pub struct JobSpec {
     pub ecc_bits: u8,
     pub ways: u8,
     pub seed: u64,
+    /// Worker threads for the simulator's front-end refill. Pure
+    /// throughput knob: reports are byte-identical at any value, so it
+    /// is deliberately *excluded* from the run-cache fingerprint — jobs
+    /// differing only in `threads` coalesce. 0 means serial (the
+    /// default, matching `esteem-sim` without `--threads`).
+    pub threads: usize,
     /// Higher runs first; ties are served fairly across clients.
     pub priority: u8,
     /// Fairness key: the queue round-robins across distinct clients.
@@ -61,6 +67,7 @@ impl Default for JobSpec {
             ecc_bits: 1,
             ways: 4,
             seed: 1,
+            threads: 0,
             priority: 1,
             client: "anon".into(),
         }
@@ -87,6 +94,7 @@ impl Serialize for JobSpec {
             ("ecc_bits".into(), self.ecc_bits.to_value()),
             ("ways".into(), self.ways.to_value()),
             ("seed".into(), self.seed.to_value()),
+            ("threads".into(), self.threads.to_value()),
             ("priority".into(), self.priority.to_value()),
             ("client".into(), Value::Str(self.client.clone())),
         ]);
@@ -108,6 +116,7 @@ const KNOWN_FIELDS: &[&str] = &[
     "ecc_bits",
     "ways",
     "seed",
+    "threads",
     "priority",
     "client",
 ];
@@ -158,6 +167,7 @@ impl Deserialize for JobSpec {
         opt(m, "ecc_bits", &mut spec.ecc_bits)?;
         opt(m, "ways", &mut spec.ways)?;
         opt(m, "seed", &mut spec.seed)?;
+        opt(m, "threads", &mut spec.threads)?;
         opt(m, "priority", &mut spec.priority)?;
         opt(m, "client", &mut spec.client)?;
         Ok(spec)

@@ -433,11 +433,14 @@ fn execute(state: &Arc<State>, job: &Arc<Job>) {
             .spec
             .resolve()
             .expect("spec resolved at submit; workloads/techniques are static");
-        let sim = Simulator::new(resolved.cfg, &resolved.profiles, &resolved.label).with_observer(
-            Box::new(EventSink {
+        // Thread count is a pure throughput knob (reports are
+        // byte-identical), so it is safe to apply here even though it is
+        // not part of the fingerprint the cache lookup above used.
+        let sim = Simulator::new(resolved.cfg, &resolved.profiles, &resolved.label)
+            .with_threads(job.spec.threads.max(1))
+            .with_observer(Box::new(EventSink {
                 events: Arc::clone(&job.events),
-            }),
-        );
+            }));
         let report = sim.run();
         runcache::insert(fp, &report);
         report

@@ -99,6 +99,12 @@ impl ZoneMixture {
         offset + rng.gen_range(0..size)
     }
 
+    /// The raw `(cumulative_weight, base_offset, size)` zone table (for
+    /// the stream generator's precomputed integer-threshold fast path).
+    pub(crate) fn entries(&self) -> &[(f64, u64, u64)] {
+        &self.zones
+    }
+
     /// Maximum block index reachable (exclusive); bounds the region.
     pub fn region_limit(&self) -> u64 {
         self.zones.iter().map(|&(_, o, s)| o + s).max().unwrap_or(1)

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Perf-regression smoke gate for the simulator hot path.
+#
+# Runs the full esteem-microbench suite and fails if end-to-end simulator
+# throughput (`sim_minstr_per_s`) fell more than an allowed fraction below
+# the committed reference in BENCH_hotpath.json. The reference numbers are
+# machine-dependent, so the gate is a *smoke* check with a generous margin:
+# it catches "someone made the hot path 2x slower", not 3% drift. CI
+# machines that are simply slower than the reference box can lower the bar
+# via PERF_GATE_FRACTION (e.g. 0.5) without editing the workflow.
+#
+# Usage: scripts/perf_gate.sh [path-to-reference.json]
+#   PERF_GATE_FRACTION  minimum allowed fresh/committed ratio (default 0.85)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ref="${1:-BENCH_hotpath.json}"
+fraction="${PERF_GATE_FRACTION:-0.85}"
+fresh="$(mktemp /tmp/bench_fresh.XXXXXX.json)"
+trap 'rm -f "$fresh"' EXIT
+
+extract() { # extract <file> <key>  -> numeric value
+  sed -n "s/.*\"$2\": *\([0-9.]*\).*/\1/p" "$1" | head -n1
+}
+
+committed="$(extract "$ref" sim_minstr_per_s)"
+if [ -z "$committed" ]; then
+  echo "perf gate: no sim_minstr_per_s in $ref" >&2
+  exit 2
+fi
+
+cargo build --release -p esteem-harness --bin esteem-microbench
+./target/release/esteem-microbench --out "$fresh" >/dev/null
+measured="$(extract "$fresh" sim_minstr_per_s)"
+if [ -z "$measured" ]; then
+  echo "perf gate: microbench produced no sim_minstr_per_s" >&2
+  exit 2
+fi
+
+floor="$(awk -v c="$committed" -v f="$fraction" 'BEGIN { printf "%.2f", c * f }')"
+echo "perf gate: committed ${committed} Minstr/s, measured ${measured}, floor ${floor} (fraction ${fraction})"
+awk -v m="$measured" -v fl="$floor" 'BEGIN { exit !(m + 0 >= fl + 0) }' || {
+  echo "perf gate: FAIL — sim_minstr_per_s ${measured} < ${floor}" >&2
+  echo "           (regenerate BENCH_hotpath.json if the slowdown is intended)" >&2
+  exit 1
+}
+echo "perf gate: OK"
