@@ -427,6 +427,15 @@ impl SetAssocCache {
         for acc in accesses {
             out.counts[g.module_of(g.set_of(acc.block)) as usize] += 1;
         }
+        if let Some(h) = &self.shard_metrics {
+            // Shard-size imbalance for this batch: max over mean, in
+            // percent, across modules that received work (100 = even).
+            let max = out.counts.iter().copied().max().unwrap_or(0) as u64;
+            let busy = out.counts.iter().filter(|&&c| c > 0).count() as u64;
+            if busy > 1 {
+                h.record(max * 100 * busy / n as u64);
+            }
+        }
         let mut offsets = vec![0u32; modules + 1];
         for m in 0..modules {
             offsets[m + 1] = offsets[m] + out.counts[m];
@@ -992,6 +1001,36 @@ mod tests {
         shrunk.set_retention_tracking(false);
         shrunk.set_module_active_ways(0, 3, 0);
         assert!(!shrunk.supports_l1_batch());
+    }
+
+    #[test]
+    fn shard_metrics_record_imbalance() {
+        use esteem_stats::Histogram;
+        use std::sync::Arc;
+        let g = CacheGeometry::from_capacity(1 << 20, 8, 64, 8, 16);
+        let mut c = SetAssocCache::new(g, Some(64));
+        let h = Arc::new(Histogram::new());
+        c.set_shard_metrics(Arc::clone(&h));
+        let acc: Vec<Access> = stream(&g, 4000, 0xBEEF)
+            .iter()
+            .enumerate()
+            .map(|(i, &(block, write))| Access {
+                block,
+                write,
+                now: i as u64,
+            })
+            .collect();
+        let mut out = BatchOutcome::new();
+        c.access_batch(&acc, &mut out);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1, "one imbalance sample per batch");
+        assert!(s.max() >= 100, "max/mean is at least 100%");
+        // The tap must not change outcomes: replay without metrics.
+        let mut plain = SetAssocCache::new(g, Some(64));
+        let mut out2 = BatchOutcome::new();
+        plain.access_batch(&acc, &mut out2);
+        assert_eq!(out.outcomes, out2.outcomes);
+        assert_eq!((out.hits, out.misses), (out2.hits, out2.misses));
     }
 
     #[test]

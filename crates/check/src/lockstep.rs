@@ -18,7 +18,7 @@
 //! struct-of-arrays batch kernel — once serially via
 //! [`SetAssocCache::access_batch`] and once over three worker threads via
 //! [`SetAssocCache::access_batch_threaded`] — on independent cache+engine
-//! replicas ([`BatchReplica`]). Accesses accumulate between comparison
+//! replicas (`BatchReplica`). Accesses accumulate between comparison
 //! points and flush as one block (the way the simulator's front end feeds
 //! the kernel), per-access outcomes are compared element-wise against the
 //! scalar path's, and at every advance the replicas' counters, occupancy

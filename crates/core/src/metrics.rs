@@ -1,0 +1,157 @@
+//! Wall-clock instrumentation of the threaded batch front end.
+//!
+//! [`SimMetrics`] is an optional, shareable (`Arc`) bundle of
+//! [`Histogram`]s the simulator fills at quantum boundaries when
+//! attached via `Simulator::with_metrics`:
+//!
+//! * **per-core refill time** — wall microseconds each core's
+//!   front-end top-up took this quantum (on a worker thread or inline),
+//! * **barrier stall** — how long the simulation thread waited at the
+//!   refill barrier (`pool.wait_idle()`), the direct cost of the
+//!   slowest core,
+//! * **refill batch sizes and imbalance** — bundles generated per
+//!   refill, and per quantum the max-over-mean imbalance (in percent)
+//!   across the cores that refilled: the work-skew input to ROADMAP
+//!   item 3's headroom hunt.
+//!
+//! Everything here is wall-clock observation of *host* execution; none
+//! of it feeds back into simulated state, so attaching metrics can
+//! never change a report (the observer/tracer byte-identity tests
+//! cover the same contract). When no metrics are attached the
+//! simulator takes no timestamps at all — zero cost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use esteem_stats::{Histogram, HistogramSnapshot, Scope, StatsSource};
+
+/// Shared instrumentation for one simulator run. All recording methods
+/// take `&self` and are lock-free, so refill workers record directly.
+#[derive(Debug)]
+pub struct SimMetrics {
+    /// Wall microseconds per front-end refill, one histogram per core.
+    refill_us: Vec<Histogram>,
+    /// Wall microseconds the simulation thread spent at the refill
+    /// barrier per quantum (threaded mode only).
+    barrier_stall_us: Histogram,
+    /// Bundles generated per refill (all cores pooled).
+    refill_bundles: Histogram,
+    /// Per-quantum refill-size imbalance across cores, in percent:
+    /// `100 * max(bundles) / mean(bundles)` (100 = perfectly balanced).
+    imbalance_pct: Histogram,
+    /// Scratch: last refill size per core, for the imbalance
+    /// computation after the barrier.
+    last_bundles: Vec<AtomicU64>,
+}
+
+impl SimMetrics {
+    pub fn new(cores: usize) -> Self {
+        Self {
+            refill_us: (0..cores).map(|_| Histogram::new()).collect(),
+            barrier_stall_us: Histogram::new(),
+            refill_bundles: Histogram::new(),
+            imbalance_pct: Histogram::new(),
+            last_bundles: (0..cores).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub fn cores(&self) -> usize {
+        self.refill_us.len()
+    }
+
+    /// Records one core's refill: wall time and batch size.
+    pub fn record_refill(&self, core: usize, us: u64, bundles: usize) {
+        self.refill_us[core].record(us);
+        self.refill_bundles.record(bundles as u64);
+        self.last_bundles[core].store(bundles as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_barrier_stall(&self, us: u64) {
+        self.barrier_stall_us.record(us);
+    }
+
+    /// Folds the quantum's per-core refill sizes (stored by
+    /// [`Self::record_refill`]) into the imbalance histogram and clears
+    /// the scratch. Call once per quantum, after the barrier.
+    pub fn finish_quantum(&self) {
+        let mut max = 0u64;
+        let mut sum = 0u64;
+        let mut n = 0u64;
+        for b in &self.last_bundles {
+            let v = b.swap(0, Ordering::Relaxed);
+            if v > 0 {
+                max = max.max(v);
+                sum += v;
+                n += 1;
+            }
+        }
+        if n > 1 && sum > 0 {
+            self.imbalance_pct.record(max * 100 * n / sum);
+        }
+    }
+
+    pub fn refill_us(&self, core: usize) -> HistogramSnapshot {
+        self.refill_us[core].snapshot()
+    }
+
+    pub fn barrier_stall_us(&self) -> HistogramSnapshot {
+        self.barrier_stall_us.snapshot()
+    }
+
+    pub fn refill_bundles(&self) -> HistogramSnapshot {
+        self.refill_bundles.snapshot()
+    }
+
+    pub fn imbalance_pct(&self) -> HistogramSnapshot {
+        self.imbalance_pct.snapshot()
+    }
+}
+
+impl StatsSource for SimMetrics {
+    fn collect(&self, out: &mut Scope<'_>) {
+        out.histogram("barrier_stall_us", self.barrier_stall_us.snapshot());
+        out.histogram("refill_bundles", self.refill_bundles.snapshot());
+        out.histogram("imbalance_pct", self.imbalance_pct.snapshot());
+        out.scope("cores", |s| {
+            for (i, h) in self.refill_us.iter().enumerate() {
+                s.histogram(&format!("{i}/refill_us"), h.snapshot());
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_is_max_over_mean_percent() {
+        let m = SimMetrics::new(4);
+        m.record_refill(0, 10, 100);
+        m.record_refill(1, 12, 100);
+        m.record_refill(2, 9, 100);
+        m.record_refill(3, 40, 300);
+        m.finish_quantum();
+        let imb = m.imbalance_pct();
+        assert_eq!(imb.count(), 1);
+        // max=300, mean=150 -> 200%.
+        assert_eq!(imb.quantile(0.5), 200);
+        // Scratch cleared: a quantum with one refilling core records
+        // nothing (imbalance needs >= 2 participants).
+        m.record_refill(0, 5, 50);
+        m.finish_quantum();
+        assert_eq!(m.imbalance_pct().count(), 1);
+        assert_eq!(m.refill_bundles().count(), 5);
+    }
+
+    #[test]
+    fn collects_as_stats_source() {
+        let m = SimMetrics::new(2);
+        m.record_refill(0, 7, 64);
+        m.record_barrier_stall(3);
+        let mut r = esteem_stats::StatsReading::new();
+        r.register("block", &m);
+        assert_eq!(r.histogram("block/cores/0/refill_us").unwrap().count(), 1);
+        assert_eq!(r.histogram("block/barrier_stall_us").unwrap().count(), 1);
+        assert_eq!(r.histogram("block/cores/1/refill_us").unwrap().count(), 0);
+    }
+}

@@ -13,7 +13,9 @@
 //!    bundle runs);
 //! 3. `refresh_advance_ns_per_period` — one `RefreshEngine::advance` over a
 //!    retention period (periodic-valid policy, the ESTEEM/baseline path);
-//! 4. `sim_minstr_per_s` — end-to-end simulated instructions per wall
+//! 4. `histogram_record_ns` — one `esteem_stats::Histogram::record`, the
+//!    per-event cost of every latency-metrics tap in the stack;
+//! 5. `sim_minstr_per_s` — end-to-end simulated instructions per wall
 //!    second on a small Figure-3 subset (baseline + ESTEEM + RPV), the
 //!    number that bounds every figure/table sweep.
 //!
@@ -149,6 +151,38 @@ fn bench_refresh_advance(periods: u64) -> f64 {
     elapsed.as_nanos() as f64 / periods as f64
 }
 
+/// Histogram recording cost: ns per `Histogram::record` on the
+/// log-linear latency histogram the daemon and simulator metrics taps
+/// use. Values are LCG-spread across the full tier range so the bench
+/// exercises the bucket-index path, not one hot cache line. This bounds
+/// the per-event overhead of attaching metrics anywhere in the stack.
+fn bench_histogram_record(ops: u64) -> f64 {
+    let h = esteem_stats::Histogram::new();
+    // Pre-generate the values so only `record` is timed.
+    let mut x = 0x9E3779B97F4A7C15u64;
+    let values: Vec<u64> = (0..ops)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Spread across ~6 decades of microseconds.
+            x >> (24 + (x & 31))
+        })
+        .collect();
+    let started = Instant::now();
+    for &v in &values {
+        h.record(v);
+    }
+    let elapsed = started.elapsed();
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), ops, "every record lands");
+    assert!(
+        snap.quantile(0.5) > 0,
+        "spread values have a nonzero median"
+    );
+    elapsed.as_nanos() as f64 / ops as f64
+}
+
 /// End-to-end simulator throughput in simulated Minstr per wall second on
 /// a Figure-3 subset: each workload runs baseline, ESTEEM, and RPV —
 /// exactly the per-row work of the figure sweeps. Runs fresh simulations
@@ -187,16 +221,19 @@ fn main() -> ExitCode {
         (8_000_000, 5_000, &["gcc", "gamess", "milc"])
     };
 
-    eprintln!("[1/4] cache access ({cache_ops} ops)...");
+    eprintln!("[1/5] cache access ({cache_ops} ops)...");
     let cache_ns = bench_cache_access(cache_ops);
     eprintln!("      {cache_ns:.1} ns/op");
-    eprintln!("[2/4] batch kernel ({cache_ops} accesses)...");
+    eprintln!("[2/5] batch kernel ({cache_ops} accesses)...");
     let batch_ns = bench_batch_kernel(cache_ops);
     eprintln!("      {batch_ns:.1} ns/access");
-    eprintln!("[3/4] refresh advance ({refresh_periods} periods)...");
+    eprintln!("[3/5] refresh advance ({refresh_periods} periods)...");
     let refresh_ns = bench_refresh_advance(refresh_periods);
     eprintln!("      {refresh_ns:.1} ns/period");
-    eprintln!("[4/4] end-to-end sim throughput ({benches:?} x 3 techniques)...");
+    eprintln!("[4/5] histogram record ({cache_ops} ops)...");
+    let histogram_ns = bench_histogram_record(cache_ops);
+    eprintln!("      {histogram_ns:.2} ns/record");
+    eprintln!("[5/5] end-to-end sim throughput ({benches:?} x 3 techniques)...");
     let (minstr_per_s, e2e_seconds) = bench_end_to_end(benches);
     eprintln!("      {minstr_per_s:.1} Minstr/s ({e2e_seconds:.2}s wall)");
 
@@ -206,9 +243,10 @@ fn main() -> ExitCode {
          \"cache_access_ns_per_op\": {:.3},\n  \
          \"batch_kernel_ns_per_access\": {:.3},\n  \
          \"refresh_advance_ns_per_period\": {:.1},\n  \
+         \"histogram_record_ns\": {:.3},\n  \
          \"sim_minstr_per_s\": {:.2},\n  \
          \"e2e_seconds\": {:.3}\n}}\n",
-        args.quick, cache_ns, batch_ns, refresh_ns, minstr_per_s, e2e_seconds
+        args.quick, cache_ns, batch_ns, refresh_ns, histogram_ns, minstr_per_s, e2e_seconds
     );
     match std::fs::write(&args.out, &json) {
         Ok(()) => eprintln!("wrote {}", args.out),

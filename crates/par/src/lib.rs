@@ -26,7 +26,7 @@ pub use pool::{
     JobPanic, ParConfig,
 };
 pub use progress::Progress;
-pub use worker::{SubmitError, WorkerPool};
+pub use worker::{PoolMetrics, SubmitError, WorkerPool};
 
 use std::num::NonZeroUsize;
 

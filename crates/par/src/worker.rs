@@ -13,14 +13,82 @@
 //!   must outlive any single bad request.
 //! * **Graceful shutdown** — [`WorkerPool::shutdown`] stops intake,
 //!   drains every queued job, and joins the workers.
+//! * **Optional instrumentation** — [`WorkerPool::instrumented`]
+//!   attaches a [`PoolMetrics`] (task-latency and queue-wait
+//!   histograms, per-worker busy time). A plain [`WorkerPool::new`]
+//!   pool takes no timestamps at all, so the simulator's refill pool
+//!   stays zero-cost; the pool reports through [`StatsSource`] either
+//!   way (queue depth, active, completed, panics).
 
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use esteem_stats::{Histogram, Scope, StatsSource};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Latency/utilization instrumentation for a pool built with
+/// [`WorkerPool::instrumented`]. Recording is lock-free
+/// (histograms are atomic); collection happens through the pool's
+/// [`StatsSource`] impl.
+#[derive(Debug)]
+pub struct PoolMetrics {
+    /// Wall-clock run time of each executed job, microseconds.
+    task_us: Histogram,
+    /// Submit-to-dequeue wait of each executed job, microseconds.
+    queue_wait_us: Histogram,
+    /// Cumulative busy microseconds per worker.
+    busy_us: Box<[AtomicU64]>,
+    /// Utilization denominator: pool construction time.
+    epoch: Instant,
+}
+
+impl PoolMetrics {
+    fn new(threads: usize) -> Self {
+        Self {
+            task_us: Histogram::new(),
+            queue_wait_us: Histogram::new(),
+            busy_us: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Task-latency distribution so far.
+    pub fn task_us(&self) -> esteem_stats::HistogramSnapshot {
+        self.task_us.snapshot()
+    }
+
+    /// Queue-wait distribution so far.
+    pub fn queue_wait_us(&self) -> esteem_stats::HistogramSnapshot {
+        self.queue_wait_us.snapshot()
+    }
+
+    /// Fraction of wall time worker `i` spent running jobs since the
+    /// pool started (clamped to 1.0 against timer skew).
+    pub fn worker_utilization(&self, i: usize) -> f64 {
+        let elapsed = self.epoch.elapsed().as_micros().max(1) as f64;
+        (self.busy_us[i].load(Ordering::Relaxed) as f64 / elapsed).min(1.0)
+    }
+
+    /// Mean utilization across all workers.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.busy_us.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = (0..self.busy_us.len())
+            .map(|i| self.worker_utilization(i))
+            .sum();
+        sum / self.busy_us.len() as f64
+    }
+
+    pub fn workers(&self) -> usize {
+        self.busy_us.len()
+    }
+}
 
 /// Why a submission was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,8 +110,15 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// A queued closure plus its enqueue time (taken only when the pool is
+/// instrumented, so plain pools never touch the clock).
+struct QueuedJob {
+    job: Job,
+    queued_at: Option<Instant>,
+}
+
 struct State {
-    queue: VecDeque<Job>,
+    queue: VecDeque<QueuedJob>,
     closed: bool,
     /// Jobs currently executing on a worker.
     active: usize,
@@ -60,6 +135,8 @@ struct Shared {
     capacity: usize,
     panics: AtomicU64,
     completed: AtomicU64,
+    /// Present only on instrumented pools.
+    metrics: Option<Arc<PoolMetrics>>,
 }
 
 /// Fixed-size pool of long-lived workers over a bounded job queue.
@@ -70,8 +147,21 @@ pub struct WorkerPool {
 
 impl WorkerPool {
     /// Spawns `threads` workers (at least one) behind a queue of
-    /// `capacity` pending jobs (at least one).
+    /// `capacity` pending jobs (at least one). No instrumentation, no
+    /// clock reads — the hot-path refill pool uses this.
     pub fn new(threads: usize, capacity: usize) -> Self {
+        Self::build(threads, capacity, None)
+    }
+
+    /// Like [`Self::new`] but with a [`PoolMetrics`] attached: every
+    /// executed job records queue wait and run time, and per-worker
+    /// busy time accumulates for utilization reporting.
+    pub fn instrumented(threads: usize, capacity: usize) -> Self {
+        let metrics = Arc::new(PoolMetrics::new(threads.max(1)));
+        Self::build(threads, capacity, Some(metrics))
+    }
+
+    fn build(threads: usize, capacity: usize, metrics: Option<Arc<PoolMetrics>>) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -84,29 +174,43 @@ impl WorkerPool {
             capacity: capacity.max(1),
             panics: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            metrics,
         });
         let handles = (0..threads.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("esteem-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn worker thread")
             })
             .collect();
         Self { shared, handles }
     }
 
+    /// The attached instrumentation (None on a plain [`Self::new`] pool).
+    pub fn metrics(&self) -> Option<&Arc<PoolMetrics>> {
+        self.shared.metrics.as_ref()
+    }
+
+    fn wrap(&self, job: Job) -> QueuedJob {
+        QueuedJob {
+            job,
+            queued_at: self.shared.metrics.as_ref().map(|_| Instant::now()),
+        }
+    }
+
     /// Enqueues a job, blocking while the queue is at capacity.
     /// Fails only when the pool is closed.
     pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
+        let entry = self.wrap(job);
         let mut st = self.lock();
         loop {
             if st.closed {
                 return Err(SubmitError::Closed);
             }
             if st.queue.len() < self.shared.capacity {
-                st.queue.push_back(job);
+                st.queue.push_back(entry);
                 self.shared.job_ready.notify_one();
                 return Ok(());
             }
@@ -120,6 +224,7 @@ impl WorkerPool {
 
     /// Enqueues a job without blocking; refuses when full or closed.
     pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
+        let entry = self.wrap(job);
         let mut st = self.lock();
         if st.closed {
             return Err(SubmitError::Closed);
@@ -127,7 +232,7 @@ impl WorkerPool {
         if st.queue.len() >= self.shared.capacity {
             return Err(SubmitError::Full);
         }
-        st.queue.push_back(job);
+        st.queue.push_back(entry);
         self.shared.job_ready.notify_one();
         Ok(())
     }
@@ -198,15 +303,15 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker_idx: usize) {
     loop {
-        let job = {
+        let entry = {
             let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
-                if let Some(job) = st.queue.pop_front() {
+                if let Some(entry) = st.queue.pop_front() {
                     st.active += 1;
                     shared.slot_free.notify_one();
-                    break job;
+                    break entry;
                 }
                 if st.closed {
                     return;
@@ -214,14 +319,49 @@ fn worker_loop(shared: &Shared) {
                 st = shared.job_ready.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         };
-        if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+        let started = shared.metrics.as_ref().map(|m| {
+            if let Some(q) = entry.queued_at {
+                m.queue_wait_us.record_duration_us(q.elapsed());
+            }
+            Instant::now()
+        });
+        if std::panic::catch_unwind(AssertUnwindSafe(entry.job)).is_err() {
             shared.panics.fetch_add(1, Ordering::Relaxed);
+        }
+        if let (Some(m), Some(t0)) = (&shared.metrics, started) {
+            let dt = t0.elapsed();
+            m.task_us.record_duration_us(dt);
+            m.busy_us[worker_idx].fetch_add(
+                dt.as_micros().min(u64::MAX as u128) as u64,
+                Ordering::Relaxed,
+            );
         }
         shared.completed.fetch_add(1, Ordering::Relaxed);
         let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
         st.active -= 1;
         drop(st);
         shared.job_done.notify_all();
+    }
+}
+
+impl StatsSource for WorkerPool {
+    /// Queue depth, activity and (when instrumented) latency
+    /// distributions plus per-worker utilization. Read-only.
+    fn collect(&self, out: &mut Scope<'_>) {
+        out.gauge("queue_depth", self.pending() as f64);
+        out.gauge("active", self.active() as f64);
+        out.counter("completed", self.completed());
+        out.counter("panics", self.panics());
+        if let Some(m) = &self.shared.metrics {
+            out.histogram("task_us", m.task_us.snapshot());
+            out.histogram("queue_wait_us", m.queue_wait_us.snapshot());
+            out.gauge("utilization", m.mean_utilization());
+            out.scope("workers", |s| {
+                for i in 0..m.workers() {
+                    s.gauge(&format!("{i}/utilization"), m.worker_utilization(i));
+                }
+            });
+        }
     }
 }
 
@@ -316,6 +456,47 @@ mod tests {
             pool.submit(Box::new(|| {})).unwrap_err(),
             SubmitError::Closed
         );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn instrumented_pool_records_latency_and_utilization() {
+        let pool = WorkerPool::instrumented(2, 16);
+        for _ in 0..10 {
+            pool.submit(Box::new(|| {
+                std::thread::sleep(Duration::from_millis(2));
+            }))
+            .unwrap();
+        }
+        pool.wait_idle();
+        let m = pool.metrics().expect("instrumented pool has metrics");
+        let task = m.task_us();
+        assert_eq!(task.count(), 10);
+        assert!(task.quantile(0.5) >= 1_000, "jobs slept ~2ms");
+        assert_eq!(m.queue_wait_us().count(), 10);
+        assert_eq!(m.workers(), 2);
+        let util: f64 = (0..2).map(|i| m.worker_utilization(i)).sum();
+        assert!(util > 0.0, "busy time accumulated");
+        assert!(m.mean_utilization() <= 1.0);
+
+        // StatsSource reports the distributions.
+        let mut r = esteem_stats::StatsReading::new();
+        r.register("pool", &pool);
+        assert_eq!(r.histogram("pool/task_us").unwrap().count(), 10);
+        assert_eq!(r.counter("pool/completed"), 10);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn plain_pool_reports_stats_without_metrics() {
+        let pool = WorkerPool::new(1, 4);
+        assert!(pool.metrics().is_none());
+        pool.submit(Box::new(|| {})).unwrap();
+        pool.wait_idle();
+        let mut r = esteem_stats::StatsReading::new();
+        r.register("pool", &pool);
+        assert_eq!(r.counter("pool/completed"), 1);
+        assert!(r.histogram("pool/task_us").is_none(), "no histograms");
         pool.shutdown();
     }
 

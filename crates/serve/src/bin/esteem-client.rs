@@ -8,6 +8,9 @@
 //!                                            # `esteem-sim --json` would
 //! esteem-client <addr> events <job-id>       # streams interval JSONL
 //! esteem-client <addr> metrics
+//! esteem-client <addr> get <path>            # raw GET, prints the body
+//!                                            # (e.g. /v1/status,
+//!                                            #  /v1/flight-recorder)
 //! esteem-client <addr> shutdown
 //!
 //! job-options mirror esteem-sim flags:
@@ -22,7 +25,8 @@ use std::time::Duration;
 use esteem_serve::client;
 use esteem_serve::JobSpec;
 
-const HELP: &str = "usage: esteem-client <addr> <submit|poll|fetch|events|metrics|shutdown> ...";
+const HELP: &str =
+    "usage: esteem-client <addr> <submit|poll|fetch|events|metrics|get|shutdown> ...";
 
 fn next(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
     it.next()
@@ -126,6 +130,15 @@ fn run() -> Result<(), String> {
         }
         "metrics" => {
             print!("{}", client::metrics(addr)?);
+            Ok(())
+        }
+        "get" => {
+            let path = rest.first().ok_or("get needs a path (e.g. /v1/status)")?;
+            let (status, body) = client::request(addr, "GET", path, None)?;
+            if status != 200 {
+                return Err(format!("GET {path} -> {status}: {body}"));
+            }
+            println!("{body}");
             Ok(())
         }
         "shutdown" => client::shutdown(addr),

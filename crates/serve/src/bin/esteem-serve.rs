@@ -9,6 +9,10 @@
 //!   --queue-capacity <n>    bound before 429 shed (default 64)
 //!   --journal <file>        append-only job journal; enables crash
 //!                           recovery on restart
+//!   --flight-dump <file>    write a flight-recorder dump (recent job
+//!                           stage timings + trace ring) whenever a
+//!                           job panics
+//!   --flight-jobs <n>       flight-recorder depth (default 256)
 //! ```
 //!
 //! The daemon exits after `POST /v1/shutdown`: the queue closes, every
@@ -20,8 +24,8 @@ use std::process::ExitCode;
 
 use esteem_serve::ServerOptions;
 
-const HELP: &str =
-    "usage: esteem-serve [--addr host:port] [--workers n] [--queue-capacity n] [--journal file]";
+const HELP: &str = "usage: esteem-serve [--addr host:port] [--workers n] [--queue-capacity n] \
+     [--journal file] [--flight-dump file] [--flight-jobs n]";
 
 fn parse() -> Result<ServerOptions, String> {
     let mut opts = ServerOptions {
@@ -52,6 +56,15 @@ fn parse() -> Result<ServerOptions, String> {
                 }
             }
             "--journal" => opts.journal_path = Some(next(&mut it, "--journal")?.into()),
+            "--flight-dump" => opts.flight_dump = Some(next(&mut it, "--flight-dump")?.into()),
+            "--flight-jobs" => {
+                opts.flight_recorder_jobs = next(&mut it, "--flight-jobs")?
+                    .parse()
+                    .map_err(|e| format!("--flight-jobs: {e}"))?;
+                if opts.flight_recorder_jobs == 0 {
+                    return Err("--flight-jobs must be >= 1".into());
+                }
+            }
             "-h" | "--help" => return Err(HELP.into()),
             other => return Err(format!("unknown flag {other}\n{HELP}")),
         }

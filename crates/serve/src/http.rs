@@ -50,6 +50,9 @@ pub enum HandlerResult {
     Json(u16, String),
     /// `text/plain` body.
     Text(u16, String),
+    /// Body with an explicit `Content-Type` (e.g. the Prometheus
+    /// exposition type for `/metrics`).
+    Typed(u16, &'static str, String),
     /// Chunked `application/jsonl` stream of lines. The iterator may
     /// block while waiting for the next line; it ends the response by
     /// returning `None`.
@@ -246,9 +249,10 @@ fn serve_connection(
             && !stop.load(Ordering::SeqCst);
         let result = handler(&req);
         let status = match &result {
-            HandlerResult::Json(s, _) | HandlerResult::Text(s, _) | HandlerResult::Stream(s, _) => {
-                *s
-            }
+            HandlerResult::Json(s, _)
+            | HandlerResult::Text(s, _)
+            | HandlerResult::Typed(s, _, _)
+            | HandlerResult::Stream(s, _) => *s,
         };
         match status {
             200..=299 => counters.responses_2xx.fetch_add(1, Ordering::Relaxed),
@@ -261,6 +265,9 @@ fn serve_connection(
             }
             HandlerResult::Text(status, body) => {
                 write_simple(&mut writer, status, "text/plain", body, keep_alive)?;
+            }
+            HandlerResult::Typed(status, content_type, body) => {
+                write_simple(&mut writer, status, content_type, body, keep_alive)?;
             }
             HandlerResult::Stream(status, lines) => {
                 write_chunked(&mut writer, status, lines, keep_alive)?;

@@ -366,6 +366,10 @@ pub struct Job {
     /// Enqueue timestamp (`Tracer::elapsed_us` bits) for the queue-wait
     /// span; 0 until the job is queued.
     pub queued_at_us: std::sync::atomic::AtomicU64,
+    /// Submit timestamp on the daemon's `ServeMetrics` clock
+    /// (microseconds since daemon start), the origin for the
+    /// end-to-end stage latency; 0 until the job is accepted.
+    pub born_at_us: std::sync::atomic::AtomicU64,
 }
 
 impl Job {
@@ -378,6 +382,7 @@ impl Job {
             events: Arc::new(JobEvents::default()),
             coalesced: std::sync::atomic::AtomicU64::new(0),
             queued_at_us: std::sync::atomic::AtomicU64::new(0),
+            born_at_us: std::sync::atomic::AtomicU64::new(0),
         }
     }
 

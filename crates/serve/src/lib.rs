@@ -16,8 +16,12 @@
 //!   [`esteem_par::WorkerPool`], run-cache-backed dedupe (identical
 //!   in-flight configs coalesce onto one execution), panic isolation,
 //!   and the JSON API.
+//! * [`observe`] — stage-latency histograms (submit, queue wait, cache
+//!   lookup, run, serialize, end-to-end by outcome and client) and the
+//!   bounded flight recorder behind `/v1/flight-recorder` and the
+//!   panic crash dump.
 //! * [`client`] — a minimal blocking HTTP client used by
-//!   `esteem-client` and the end-to-end tests.
+//!   `esteem-client`, `esteem-top`, and the end-to-end tests.
 //!
 //! API summary (see DESIGN.md §13 for the full contract):
 //!
@@ -26,7 +30,11 @@
 //! | `POST /v1/jobs`           | submit a [`job::JobSpec`] (JSON)       |
 //! | `GET /v1/jobs/{id}`       | status + result when done              |
 //! | `GET /v1/jobs/{id}/events`| chunked JSONL interval-sample stream   |
-//! | `GET /metrics`            | plain-text stats snapshot              |
+//! | `GET /metrics`            | text exposition: counters, gauges, and |
+//! |                           | stage-latency histogram buckets        |
+//! | `GET /v1/status`          | JSON snapshot for `esteem-top`: queue, |
+//! |                           | workers, stage percentiles, hit rate   |
+//! | `GET /v1/flight-recorder` | recent per-job stage timings + trace   |
 //! | `GET /v1/health`          | liveness probe                         |
 //! | `POST /v1/shutdown`       | graceful drain and exit                |
 
@@ -34,10 +42,12 @@ pub mod client;
 pub mod http;
 pub mod job;
 pub mod journal;
+pub mod observe;
 pub mod queue;
 pub mod server;
 
 pub use job::{Job, JobSpec, JobState};
 pub use journal::{Journal, Recovery};
+pub use observe::{FlightRecorder, JobTiming, Outcome, ServeMetrics};
 pub use queue::{JobQueue, PushError, QueuedJob};
 pub use server::{spawn, Daemon, ServerOptions};

@@ -19,19 +19,33 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use esteem_core::Simulator;
 use esteem_harness::runcache;
 use esteem_par::WorkerPool;
-use esteem_stats::{IntervalObserver, IntervalSample, Scope, StatsReading, StatsSource};
+use esteem_stats::{
+    labeled, HistogramSnapshot, IntervalObserver, IntervalSample, Scope, StatsReading, StatsSource,
+};
 use esteem_trace::{EventKind, TraceEvent, TraceFilter, Tracer};
 use serde::{Serialize, Value};
 
 use crate::http::{Handler, HandlerResult, HttpCounters, HttpServer};
 use crate::job::{EventStream, Job, JobSpec, JobState};
 use crate::journal::{recover, Journal, RecoveredOutcome};
+use crate::observe::{flight_dump_value, FlightRecorder, JobTiming, Outcome, ServeMetrics};
 use crate::queue::{JobQueue, PushError, QueuedJob};
+
+/// Crate version, exported as a `build_info` label and in `/v1/status`.
+const VERSION: &str = env!("CARGO_PKG_VERSION");
+/// Git revision baked in at build time (`ESTEEM_GIT_HASH`), when the
+/// build script or CI sets it.
+const GIT_HASH: &str = match option_env!("ESTEEM_GIT_HASH") {
+    Some(h) => h,
+    None => "unknown",
+};
+/// Prometheus text exposition content type served on `/metrics`.
+const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
 
 /// Daemon configuration (all fields have serviceable defaults).
 #[derive(Debug, Clone)]
@@ -51,6 +65,12 @@ pub struct ServerOptions {
     pub drain_timeout: Duration,
     /// Ring-buffer tracer capacity; 0 disables tracing.
     pub trace_events: usize,
+    /// Flight-recorder depth: how many recent per-job stage timing
+    /// records `GET /v1/flight-recorder` can return.
+    pub flight_recorder_jobs: usize,
+    /// Where to write a flight-recorder dump when a job panics
+    /// (`None` disables the crash dump).
+    pub flight_dump: Option<PathBuf>,
 }
 
 impl Default for ServerOptions {
@@ -63,6 +83,8 @@ impl Default for ServerOptions {
             start_paused: false,
             drain_timeout: Duration::from_secs(10),
             trace_events: 1 << 16,
+            flight_recorder_jobs: 256,
+            flight_dump: None,
         }
     }
 }
@@ -138,6 +160,16 @@ struct State {
     shutdown: (Mutex<bool>, Condvar),
     /// Filled in once the HTTP server is bound (the server owns them).
     http_counters: Mutex<Option<Arc<HttpCounters>>>,
+    /// The resident execution pool (instrumented): shared so the
+    /// scheduler feeds it while `/metrics` and `/v1/status` read queue
+    /// depth, task latency, and per-worker utilization off it.
+    pool: Arc<WorkerPool>,
+    /// Stage-latency histograms + uptime clock.
+    metrics: ServeMetrics,
+    /// Recent per-job stage timings for `/v1/flight-recorder`.
+    flight: FlightRecorder,
+    /// Crash-dump target when a job panics.
+    flight_dump: Option<PathBuf>,
 }
 
 impl State {
@@ -236,6 +268,18 @@ impl Daemon {
         self.state.tracer.drain()
     }
 
+    /// The daemon's stage-latency histograms. Recording methods are
+    /// public, which doubles as the injection point for latency tests:
+    /// record known values, then read them back via `/v1/status`.
+    pub fn serve_metrics(&self) -> &ServeMetrics {
+        &self.state.metrics
+    }
+
+    /// Recent per-job stage timings (the `/v1/flight-recorder` view).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.state.flight
+    }
+
     /// Blocks until shutdown is requested, then drains: the queue
     /// closes, every already-accepted job still runs to completion, the
     /// worker pool joins, and the HTTP listener stops. Returns `true`
@@ -290,6 +334,13 @@ pub fn spawn(opts: ServerOptions) -> std::io::Result<Daemon> {
         gate: Gate::default(),
         shutdown: (Mutex::new(false), Condvar::new()),
         http_counters: Mutex::new(None),
+        pool: Arc::new(WorkerPool::instrumented(
+            opts.workers,
+            opts.workers.max(1) * 2,
+        )),
+        metrics: ServeMetrics::new(),
+        flight: FlightRecorder::new(opts.flight_recorder_jobs),
+        flight_dump: opts.flight_dump.clone(),
     });
     state.gate.set(opts.start_paused);
 
@@ -297,11 +348,10 @@ pub fn spawn(opts: ServerOptions) -> std::io::Result<Daemon> {
         recover_jobs(&state, path)?;
     }
 
-    let pool = WorkerPool::new(opts.workers, opts.workers.max(1) * 2);
     let sched_state = Arc::clone(&state);
     let scheduler = std::thread::Builder::new()
         .name("esteem-serve-sched".into())
-        .spawn(move || scheduler_loop(&sched_state, pool))
+        .spawn(move || scheduler_loop(&sched_state))
         .expect("spawn scheduler");
 
     let handler = make_handler(Arc::clone(&state));
@@ -367,6 +417,8 @@ fn recover_jobs(state: &Arc<State>, path: &std::path::Path) -> std::io::Result<(
 
 fn requeue_recovered(state: &Arc<State>, job: &Arc<Job>) {
     job.set_state(JobState::Queued);
+    job.born_at_us
+        .store(state.metrics.now_us(), Ordering::Relaxed);
     state
         .inflight
         .lock()
@@ -379,7 +431,7 @@ fn requeue_recovered(state: &Arc<State>, job: &Arc<Job>) {
     });
 }
 
-fn scheduler_loop(state: &Arc<State>, pool: WorkerPool) {
+fn scheduler_loop(state: &Arc<State>) {
     loop {
         state.gate.wait_open();
         let Some(queued) = state.queue.pop_blocking() else {
@@ -390,16 +442,24 @@ fn scheduler_loop(state: &Arc<State>, pool: WorkerPool) {
         };
         state.journal.start(job.id);
         job.set_state(JobState::Running);
+        let queue_wait_us = state
+            .metrics
+            .now_us()
+            .saturating_sub(job.born_at_us.load(Ordering::Relaxed));
+        state.metrics.queue_wait_us.record(queue_wait_us);
         emit_queue_wait(state, &job);
         let exec_state = Arc::clone(state);
         // `submit` blocks when the pool's feed queue is full — that is
         // fine here: backpressure belongs at the bounded JobQueue, and
         // the scheduler blocking just leaves jobs queued there.
-        let _ = pool.submit(Box::new(move || execute(&exec_state, &job)));
+        let _ = state
+            .pool
+            .submit(Box::new(move || execute(&exec_state, &job, queue_wait_us)));
     }
-    // Queue closed and drained: wait for in-flight executions, then
-    // release the workers.
-    pool.shutdown();
+    // Queue closed and drained: wait for in-flight executions. The
+    // workers themselves join when the pool drops with the state (its
+    // Drop closes intake and joins).
+    state.pool.wait_idle();
 }
 
 /// Records the queue-wait span for a job that just left the queue.
@@ -417,13 +477,22 @@ fn emit_queue_wait(state: &Arc<State>, job: &Arc<Job>) {
     });
 }
 
-/// Runs one job on a worker thread with panic isolation.
-fn execute(state: &Arc<State>, job: &Arc<Job>) {
+/// Runs one job on a worker thread with panic isolation, timing each
+/// pipeline stage for the histograms and the flight recorder.
+fn execute(state: &Arc<State>, job: &Arc<Job>, queue_wait_us: u64) {
     let fp = job.fingerprint;
+    // Stage durations land here from inside the panic-isolated closure;
+    // on a panic whatever stages completed keep their timings.
+    let cache_lookup_us = AtomicU64::new(0);
+    let run_us = AtomicU64::new(0);
+    let serialize_us = AtomicU64::new(0);
     let result = catch_unwind(AssertUnwindSafe(|| {
         let cached = {
             let _span = state.tracer.span("job.cache_lookup");
-            runcache::lookup(fp)
+            let t0 = Instant::now();
+            let cached = runcache::lookup(fp);
+            cache_lookup_us.store(elapsed_us(t0), Ordering::Relaxed);
+            cached
         };
         if let Some(report) = cached {
             return report;
@@ -441,22 +510,56 @@ fn execute(state: &Arc<State>, job: &Arc<Job>) {
             .with_observer(Box::new(EventSink {
                 events: Arc::clone(&job.events),
             }));
+        let t0 = Instant::now();
         let report = sim.run();
+        run_us.store(elapsed_us(t0), Ordering::Relaxed);
+        let t0 = Instant::now();
         runcache::insert(fp, &report);
+        serialize_us.store(elapsed_us(t0), Ordering::Relaxed);
         report
     }));
-    match result {
+    let outcome = match result {
         Ok(report) => {
             state.journal.done(job.id);
             state.counters.completed.fetch_add(1, Ordering::Relaxed);
             job.set_state(JobState::Done(Box::new(report)));
+            Outcome::Done
         }
         Err(payload) => {
             let msg = esteem_par::panic_message(payload.as_ref());
             state.journal.fail(job.id, &msg);
             state.counters.failed.fetch_add(1, Ordering::Relaxed);
             job.set_state(JobState::Failed(msg));
+            Outcome::Failed
         }
+    };
+    let cache_lookup_us = cache_lookup_us.load(Ordering::Relaxed);
+    let run_us = run_us.load(Ordering::Relaxed);
+    let serialize_us = serialize_us.load(Ordering::Relaxed);
+    state.metrics.cache_lookup_us.record(cache_lookup_us);
+    if run_us > 0 {
+        state.metrics.run_us.record(run_us);
+        state.metrics.serialize_us.record(serialize_us);
+    }
+    let e2e_us = state
+        .metrics
+        .now_us()
+        .saturating_sub(job.born_at_us.load(Ordering::Relaxed));
+    state.metrics.record_e2e(outcome, &job.spec.client, e2e_us);
+    state.flight.record(JobTiming {
+        job: job.id,
+        client: job.spec.client.clone(),
+        workload: job.spec.workload.clone(),
+        outcome,
+        fingerprint: fp,
+        queue_wait_us,
+        cache_lookup_us,
+        run_us,
+        serialize_us,
+        e2e_us,
+    });
+    if outcome == Outcome::Failed {
+        dump_flight_recorder(state);
     }
     state
         .inflight
@@ -464,6 +567,25 @@ fn execute(state: &Arc<State>, job: &Arc<Job>) {
         .unwrap_or_else(|e| e.into_inner())
         .remove(&fp);
     job.events.close();
+}
+
+fn elapsed_us(t0: Instant) -> u64 {
+    t0.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// Best-effort crash dump: recent job timings + the tracer ring, as the
+/// `/v1/flight-recorder` body, written to the configured path.
+fn dump_flight_recorder(state: &State) {
+    let Some(path) = &state.flight_dump else {
+        return;
+    };
+    let body = flight_recorder_body(state);
+    if let Err(e) = std::fs::write(path, &body) {
+        eprintln!(
+            "esteem-serve: writing flight-recorder dump {}: {e}",
+            path.display()
+        );
+    }
 }
 
 /// Submit outcome, for the response body.
@@ -474,6 +596,7 @@ enum Submitted {
 }
 
 fn submit(state: &Arc<State>, spec: JobSpec) -> Result<Submitted, (u16, String)> {
+    let born_at_us = state.metrics.now_us();
     let resolved = spec.resolve().map_err(|e| {
         state.counters.rejected.fetch_add(1, Ordering::Relaxed);
         (400, e)
@@ -496,7 +619,10 @@ fn submit(state: &Arc<State>, spec: JobSpec) -> Result<Submitted, (u16, String)>
     }
 
     // Run-cache hit: the job is born done.
-    if let Some(report) = runcache::lookup(fp) {
+    let lookup_t0 = Instant::now();
+    let hit = runcache::lookup(fp);
+    let cache_lookup_us = elapsed_us(lookup_t0);
+    if let Some(report) = hit {
         drop(inflight);
         let id = state.alloc_id();
         let job = Arc::new(Job::new(id, spec.clone(), fp));
@@ -508,6 +634,23 @@ fn submit(state: &Arc<State>, spec: JobSpec) -> Result<Submitted, (u16, String)>
         state.counters.cached.fetch_add(1, Ordering::Relaxed);
         state.counters.completed.fetch_add(1, Ordering::Relaxed);
         state.add_job(job);
+        state.metrics.cache_lookup_us.record(cache_lookup_us);
+        let e2e_us = state.metrics.now_us().saturating_sub(born_at_us);
+        state
+            .metrics
+            .record_e2e(Outcome::Cached, &spec.client, e2e_us);
+        state.flight.record(JobTiming {
+            job: id,
+            client: spec.client.clone(),
+            workload: spec.workload,
+            outcome: Outcome::Cached,
+            fingerprint: fp,
+            queue_wait_us: 0,
+            cache_lookup_us,
+            run_us: 0,
+            serialize_us: 0,
+            e2e_us,
+        });
         return Ok(Submitted::Cached(id));
     }
 
@@ -515,6 +658,7 @@ fn submit(state: &Arc<State>, spec: JobSpec) -> Result<Submitted, (u16, String)>
     let job = Arc::new(Job::new(id, spec.clone(), fp));
     job.queued_at_us
         .store(state.tracer.elapsed_us().to_bits(), Ordering::Relaxed);
+    job.born_at_us.store(born_at_us, Ordering::Relaxed);
     // Publish the job before enqueueing its id: the scheduler may pop
     // the entry the instant `push` releases the queue lock, and it must
     // find the job in the table.
@@ -576,11 +720,18 @@ fn job_status_body(job: &Job) -> String {
 fn metrics_body(state: &State) -> String {
     let mut r = StatsReading::new();
     r.register("serve", &state.counters);
+    r.register("serve", &state.metrics);
+    r.register("pool", &*state.pool);
     r.scope("serve", |s| {
         s.gauge("queue_depth", state.queue.len() as f64);
         s.gauge(
             "jobs_tracked",
             state.jobs.lock().unwrap_or_else(|e| e.into_inner()).len() as f64,
+        );
+        // Constant-1 info metric: the labels carry the payload.
+        s.counter(
+            &labeled("build_info", &[("version", VERSION), ("git", GIT_HASH)]),
+            1,
         );
     });
     let cs = runcache::cache_stats();
@@ -608,6 +759,165 @@ fn metrics_body(state: &State) -> String {
     r.render_text()
 }
 
+/// Percentile summary of one stage histogram for `/v1/status`, plus a
+/// compact bucket array for sparkline rendering.
+fn stage_value(snap: &HistogramSnapshot) -> Value {
+    Value::Map(vec![
+        ("count".into(), snap.count().to_value()),
+        ("p50_us".into(), snap.quantile(0.5).to_value()),
+        ("p95_us".into(), snap.quantile(0.95).to_value()),
+        ("p99_us".into(), snap.quantile(0.99).to_value()),
+        ("max_us".into(), snap.max().to_value()),
+        ("mean_us".into(), Value::F64(snap.mean())),
+        (
+            "cells".into(),
+            Value::Seq(
+                snap.compact_cells(24)
+                    .iter()
+                    .map(|c| c.to_value())
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// `GET /v1/status`: one JSON snapshot of everything `esteem-top`
+/// renders — identity, uptime, queue/jobs, run-cache hit rate, worker
+/// utilization, and per-stage latency percentiles.
+fn status_body(state: &State) -> String {
+    let mut by_state = [0u64; 4]; // queued, running, done, failed
+    let tracked = {
+        let jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        for job in jobs.values() {
+            let i = match job.state() {
+                JobState::Queued => 0,
+                JobState::Running => 1,
+                JobState::Done(_) => 2,
+                JobState::Failed(_) => 3,
+            };
+            by_state[i] += 1;
+        }
+        jobs.len() as u64
+    };
+    let c = &state.counters;
+    let counters = Value::Map(vec![
+        (
+            "submitted".into(),
+            c.submitted.load(Ordering::Relaxed).to_value(),
+        ),
+        (
+            "coalesced".into(),
+            c.coalesced.load(Ordering::Relaxed).to_value(),
+        ),
+        ("cached".into(), c.cached.load(Ordering::Relaxed).to_value()),
+        ("shed".into(), c.shed.load(Ordering::Relaxed).to_value()),
+        (
+            "rejected".into(),
+            c.rejected.load(Ordering::Relaxed).to_value(),
+        ),
+        (
+            "completed".into(),
+            c.completed.load(Ordering::Relaxed).to_value(),
+        ),
+        ("failed".into(), c.failed.load(Ordering::Relaxed).to_value()),
+    ]);
+    let cs = runcache::cache_stats();
+    let lookups = cs.hits + cs.misses;
+    let runcache = Value::Map(vec![
+        ("hits".into(), cs.hits.to_value()),
+        ("misses".into(), cs.misses.to_value()),
+        (
+            "hit_rate".into(),
+            Value::F64(if lookups > 0 {
+                cs.hits as f64 / lookups as f64
+            } else {
+                0.0
+            }),
+        ),
+    ]);
+    let pm = state.pool.metrics();
+    let per_worker: Vec<Value> = pm
+        .map(|m| {
+            (0..m.workers())
+                .map(|i| Value::F64(m.worker_utilization(i)))
+                .collect()
+        })
+        .unwrap_or_default();
+    let workers = Value::Map(vec![
+        ("count".into(), (per_worker.len() as u64).to_value()),
+        ("active".into(), (state.pool.active() as u64).to_value()),
+        (
+            "pool_queue".into(),
+            (state.pool.pending() as u64).to_value(),
+        ),
+        (
+            "utilization".into(),
+            Value::F64(pm.map(|m| m.mean_utilization()).unwrap_or(0.0)),
+        ),
+        ("per_worker".into(), Value::Seq(per_worker)),
+        (
+            "task_us".into(),
+            pm.map(|m| stage_value(&m.task_us())).unwrap_or(Value::Null),
+        ),
+    ]);
+    let m = &state.metrics;
+    let stages = Value::Map(vec![
+        ("submit_us".into(), stage_value(&m.submit_us.snapshot())),
+        (
+            "queue_wait_us".into(),
+            stage_value(&m.queue_wait_us.snapshot()),
+        ),
+        (
+            "cache_lookup_us".into(),
+            stage_value(&m.cache_lookup_us.snapshot()),
+        ),
+        ("run_us".into(), stage_value(&m.run_us.snapshot())),
+        (
+            "serialize_us".into(),
+            stage_value(&m.serialize_us.snapshot()),
+        ),
+    ]);
+    let e2e = Value::Map(
+        [Outcome::Done, Outcome::Failed, Outcome::Cached]
+            .iter()
+            .map(|&o| (o.name().to_owned(), stage_value(&m.e2e_us(o))))
+            .collect(),
+    );
+    let body = Value::Map(vec![
+        ("version".into(), Value::Str(VERSION.into())),
+        ("git".into(), Value::Str(GIT_HASH.into())),
+        ("uptime_seconds".into(), Value::F64(m.uptime_seconds())),
+        ("queue_depth".into(), (state.queue.len() as u64).to_value()),
+        (
+            "jobs".into(),
+            Value::Map(vec![
+                ("queued".into(), by_state[0].to_value()),
+                ("running".into(), by_state[1].to_value()),
+                ("done".into(), by_state[2].to_value()),
+                ("failed".into(), by_state[3].to_value()),
+                ("tracked".into(), tracked.to_value()),
+            ]),
+        ),
+        ("counters".into(), counters),
+        ("runcache".into(), runcache),
+        ("workers".into(), workers),
+        ("stages".into(), stages),
+        ("e2e_us".into(), e2e),
+        (
+            "flight_recorder_jobs".into(),
+            (state.flight.len() as u64).to_value(),
+        ),
+    ]);
+    serde_json::to_string(&body).expect("serializes")
+}
+
+/// `GET /v1/flight-recorder` (and the crash dump): recent job timings
+/// plus the tracer's buffered events, non-destructively.
+fn flight_recorder_body(state: &State) -> String {
+    let v = flight_dump_value(&state.flight.snapshot(), &state.tracer.snapshot());
+    serde_json::to_string(&v).expect("serializes")
+}
+
 fn make_handler(state: Arc<State>) -> Handler {
     Arc::new(move |req| {
         let parts: Vec<&str> = req.path.split('/').filter(|p| !p.is_empty()).collect();
@@ -621,7 +931,10 @@ fn make_handler(state: Arc<State>) -> Handler {
                     Ok(s) => s,
                     Err(e) => return json_err(400, &format!("bad job spec: {e}")),
                 };
-                match submit(&state, spec) {
+                let submit_t0 = Instant::now();
+                let outcome = submit(&state, spec);
+                state.metrics.submit_us.record(elapsed_us(submit_t0));
+                match outcome {
                     Ok(outcome) => {
                         let (id, coalesced, cached) = match outcome {
                             Submitted::New(id) => (id, false, false),
@@ -654,7 +967,13 @@ fn make_handler(state: Arc<State>) -> Handler {
                     None => json_err(404, "no such job"),
                 }
             }
-            ("GET", ["metrics"]) => HandlerResult::Text(200, metrics_body(&state)),
+            ("GET", ["metrics"]) => {
+                HandlerResult::Typed(200, METRICS_CONTENT_TYPE, metrics_body(&state))
+            }
+            ("GET", ["v1", "status"]) => HandlerResult::Json(200, status_body(&state)),
+            ("GET", ["v1", "flight-recorder"]) => {
+                HandlerResult::Json(200, flight_recorder_body(&state))
+            }
             ("GET", ["v1", "health"]) => {
                 let body = serde_json::to_string(&Value::Map(vec![
                     ("ok".into(), Value::Bool(true)),

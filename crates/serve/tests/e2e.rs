@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use esteem_core::Simulator;
 use esteem_serve::{client, spawn, JobSpec, ServerOptions};
-use serde::{map_get, Serialize, Value};
+use serde::{map_get, Deserialize, Serialize, Value};
 
 fn opts() -> ServerOptions {
     ServerOptions {
@@ -484,6 +484,225 @@ fn bad_specs_and_bad_routes_get_clean_errors() {
     daemon.wait();
 }
 
+/// Inject a known latency population directly into the daemon's stage
+/// histograms, then read the percentiles back through `/v1/status`. The
+/// histogram's documented bound is 1/64 (~1.6%) relative error.
+#[test]
+fn status_reports_percentiles_for_injected_latencies() {
+    let daemon = spawn(opts()).unwrap();
+    let addr = daemon.addr().to_string();
+    let m = daemon.serve_metrics();
+    for us in 1..=1000u64 {
+        m.submit_us.record(us);
+    }
+    m.record_e2e(esteem_serve::Outcome::Done, "injector", 4096);
+
+    let (status, body) = client::request(&addr, "GET", "/v1/status", None).unwrap();
+    assert_eq!(status, 200);
+    let v: Value = serde_json::from_str(&body).unwrap();
+    let stage = |v: &Value, path: &[&str]| -> Value {
+        let mut cur = v.clone();
+        for p in path {
+            cur = cur
+                .as_map()
+                .and_then(|m| map_get(m, p).ok())
+                .unwrap_or_else(|| panic!("missing {p} in {body}"))
+                .clone();
+        }
+        cur
+    };
+    let num = |v: &Value, key: &str| -> u64 {
+        match stage(v, &[key]) {
+            Value::U64(n) => n,
+            Value::I64(n) => n as u64,
+            Value::F64(f) => f as u64,
+            other => panic!("{key} is not numeric: {other:?}"),
+        }
+    };
+    let submit = stage(&v, &["stages", "submit_us"]);
+    assert_eq!(num(&submit, "count"), 1000);
+    // Exact ranks of the uniform 1..=1000 population, with the 1/64
+    // relative-error ceiling on the reported bucket upper bound.
+    for (q, exact) in [("p50_us", 500u64), ("p95_us", 950), ("p99_us", 990)] {
+        let got = num(&submit, q);
+        assert!(
+            got >= exact && got as f64 <= exact as f64 * (1.0 + 1.0 / 64.0) + 1.0,
+            "{q}: got {got}, exact {exact}"
+        );
+    }
+    assert_eq!(num(&submit, "max_us"), 1000);
+    let e2e_done = stage(&v, &["e2e_us", "done"]);
+    assert_eq!(num(&e2e_done, "count"), 1);
+    assert_eq!(num(&e2e_done, "p50_us"), 4096, "4096 sits on a bucket edge");
+
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn status_and_flight_recorder_cover_a_real_job() {
+    let daemon = spawn(opts()).unwrap();
+    let addr = daemon.addr().to_string();
+    let resp = client::submit(&addr, &spec(0xE2F0)).unwrap();
+    client::fetch(&addr, resp.job, Duration::from_millis(20)).unwrap();
+
+    let (status, body) = client::request(&addr, "GET", "/v1/status", None).unwrap();
+    assert_eq!(status, 200);
+    let v: Value = serde_json::from_str(&body).unwrap();
+    let m = v.as_map().unwrap();
+    assert_eq!(
+        map_get(m, "version").unwrap().as_str().unwrap(),
+        env!("CARGO_PKG_VERSION")
+    );
+    let workers = map_get(m, "workers").unwrap().as_map().unwrap();
+    assert_eq!(map_get(workers, "count").unwrap(), &(2u64.to_value()));
+    let per = map_get(workers, "per_worker").unwrap().as_seq().unwrap();
+    assert_eq!(per.len(), 2, "one utilization entry per worker");
+    let stages = map_get(m, "stages").unwrap().as_map().unwrap();
+    for name in [
+        "submit_us",
+        "queue_wait_us",
+        "cache_lookup_us",
+        "run_us",
+        "serialize_us",
+    ] {
+        let st = map_get(stages, name).unwrap().as_map().unwrap();
+        let count = u64::from_value(map_get(st, "count").unwrap()).unwrap();
+        assert!(count >= 1, "stage {name} recorded nothing:\n{body}");
+    }
+
+    // The flight recorder holds the job's trip with its stage split.
+    let (status, body) = client::request(&addr, "GET", "/v1/flight-recorder", None).unwrap();
+    assert_eq!(status, 200);
+    let v: Value = serde_json::from_str(&body).unwrap();
+    let jobs = v
+        .as_map()
+        .and_then(|m| map_get(m, "jobs").ok())
+        .and_then(|j| j.as_seq())
+        .expect("flight recorder has a jobs array");
+    let entry = jobs
+        .iter()
+        .find(|j| {
+            j.as_map()
+                .and_then(|m| map_get(m, "job").ok())
+                .is_some_and(|id| id == &resp.job.to_value())
+        })
+        .unwrap_or_else(|| panic!("job {} not in flight recorder:\n{body}", resp.job));
+    let em = entry.as_map().unwrap();
+    assert_eq!(map_get(em, "outcome").unwrap().as_str().unwrap(), "done");
+    let run_us = u64::from_value(map_get(em, "run_us").unwrap()).unwrap();
+    let e2e_us = u64::from_value(map_get(em, "e2e_us").unwrap()).unwrap();
+    assert!(run_us > 0 && e2e_us >= run_us, "run {run_us}, e2e {e2e_us}");
+    // Trace events ride along (non-destructively: the daemon accessor
+    // still sees them afterwards).
+    assert!(v
+        .as_map()
+        .and_then(|m| map_get(m, "trace").ok())
+        .and_then(|t| t.as_seq())
+        .is_some_and(|t| !t.is_empty()));
+    assert!(!daemon.trace_events().is_empty());
+
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn metrics_expose_histograms_build_info_and_content_type() {
+    use std::io::{Read as _, Write as _};
+
+    let daemon = spawn(opts()).unwrap();
+    let addr = daemon.addr().to_string();
+    let resp = client::submit(&addr, &spec(0xE2F1)).unwrap();
+    client::fetch(&addr, resp.job, Duration::from_millis(20)).unwrap();
+
+    let text = client::metrics(&addr).unwrap();
+    for needle in [
+        "serve/stage/run_us_bucket{le=\"",
+        "serve/stage/run_us_bucket{le=\"+Inf\"}",
+        "serve/stage/run_us_count 1",
+        "serve/stage/run_us_sum ",
+        "serve/stage/e2e_us_bucket{outcome=\"done\",le=\"",
+        "serve/uptime_seconds",
+        &format!(
+            "serve/build_info{{version=\"{}\",git=",
+            env!("CARGO_PKG_VERSION")
+        ),
+        "pool/task_us_count",
+        "pool/workers/0/utilization",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    // The exposition content type (client::request drops headers, so go
+    // over a raw socket).
+    let mut s = std::net::TcpStream::connect(daemon.addr()).unwrap();
+    s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    assert!(
+        out.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+        "exposition content type missing:\n{}",
+        out.lines().take(8).collect::<Vec<_>>().join("\n")
+    );
+
+    daemon.shutdown();
+    daemon.wait();
+}
+
+/// A panicking job triggers the crash dump: the flight-recorder body is
+/// written to the configured path, with the failed job in it.
+#[test]
+fn panicking_job_writes_flight_dump() {
+    let dir = std::env::temp_dir().join(format!("esteem-e2e-flight-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump = dir.join("flight.json");
+
+    let daemon = spawn(ServerOptions {
+        flight_dump: Some(dump.clone()),
+        ..opts()
+    })
+    .unwrap();
+    let addr = daemon.addr().to_string();
+    let bad = JobSpec {
+        a_min: 0,
+        ..spec(0xE2F2)
+    };
+    let resp = client::submit(&addr, &bad).unwrap();
+    client::fetch(&addr, resp.job, Duration::from_millis(20))
+        .expect_err("invalid config must fail the job");
+
+    // The dump lands just after the job turns terminal; poll briefly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let text = loop {
+        match std::fs::read_to_string(&dump) {
+            Ok(t) if !t.is_empty() => break t,
+            _ if std::time::Instant::now() > deadline => {
+                panic!("flight dump never appeared at {}", dump.display())
+            }
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    };
+    let v: Value = serde_json::from_str(&text).unwrap();
+    let jobs = v
+        .as_map()
+        .and_then(|m| map_get(m, "jobs").ok())
+        .and_then(|j| j.as_seq())
+        .expect("dump has a jobs array");
+    assert!(
+        jobs.iter().any(|j| {
+            j.as_map()
+                .is_some_and(|m| map_get(m, "outcome").is_ok_and(|o| o.as_str() == Some("failed")))
+        }),
+        "failed job missing from dump:\n{text}"
+    );
+
+    daemon.shutdown();
+    daemon.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The real binaries, end to end: daemon process on an ephemeral port,
 /// driven by `esteem-client` submit/poll/fetch/shutdown.
 #[test]
@@ -566,6 +785,28 @@ fn daemon_and_client_binaries_round_trip() {
         metrics.contains("serve/jobs_submitted 1"),
         "got:\n{metrics}"
     );
+
+    // The dashboard binary against the live daemon, in one-shot mode.
+    let top = Command::new(env!("CARGO_BIN_EXE_esteem-top"))
+        .args([addr.as_str(), "--once"])
+        .output()
+        .unwrap();
+    assert!(
+        top.status.success(),
+        "esteem-top --once failed: {}",
+        String::from_utf8_lossy(&top.stderr)
+    );
+    let dash = String::from_utf8(top.stdout).unwrap();
+    for needle in [
+        "esteem-top —",
+        "queue depth",
+        "workers",
+        "p95",
+        "run",
+        "e2e done",
+    ] {
+        assert!(dash.contains(needle), "missing {needle:?} in:\n{dash}");
+    }
 
     run(&["shutdown"]);
     let status = daemon.wait().unwrap();

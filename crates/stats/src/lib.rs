@@ -8,6 +8,11 @@
 //!   (instantaneous values), and [`TimeWeighted`] (exact integer
 //!   `value x cycles` integrals, replacing float accumulation whose
 //!   summation order is a determinism hazard).
+//! * **Distributions** — [`Histogram`], a lock-free log-linear (HDR
+//!   style) bucketed histogram with ~1.6% bounded relative error,
+//!   constant size, and no allocation on record; sparse
+//!   [`HistogramSnapshot`]s are mergeable, delta-able, and answer
+//!   quantile queries (the daemon's stage-latency p50/p95/p99).
 //! * **Hierarchical collection** — components implement [`StatsSource`]
 //!   and write their stats into a [`Scope`]; nesting scopes yields
 //!   slash-separated paths (`"l2/hits"`, `"cores/0/instructions"`).
@@ -29,11 +34,15 @@
 //! run), so the registry adds zero per-access cost and cannot perturb
 //! simulation determinism.
 
+pub mod histogram;
 pub mod observer;
 pub mod registry;
 
+pub use histogram::{Histogram, HistogramSnapshot};
 pub use observer::{read_interval_log, IntervalObserver, IntervalSample, JsonlSink};
-pub use registry::{Scope, StatValue, StatsReading, StatsRegistry, StatsSource};
+pub use registry::{
+    escape_label_value, labeled, Scope, StatValue, StatsReading, StatsRegistry, StatsSource,
+};
 
 /// A monotonically increasing event count.
 ///

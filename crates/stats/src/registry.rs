@@ -2,9 +2,12 @@
 
 use std::collections::BTreeMap;
 
-/// One collected stat value. Counters and time-weighted integrals carry
-/// delta semantics (subtractable); gauges are instantaneous.
-#[derive(Debug, Clone, Copy, PartialEq)]
+use crate::histogram::HistogramSnapshot;
+
+/// One collected stat value. Counters, time-weighted integrals and
+/// histograms carry delta semantics (subtractable); gauges are
+/// instantaneous.
+#[derive(Debug, Clone, PartialEq)]
 pub enum StatValue {
     /// Monotone event count ([`crate::Counter`]).
     Counter(u64),
@@ -12,6 +15,55 @@ pub enum StatValue {
     Gauge(f64),
     /// `value x cycles` integral ([`crate::TimeWeighted`]).
     Weighted(u128),
+    /// Latency/size distribution ([`crate::Histogram`] snapshot).
+    Histogram(HistogramSnapshot),
+}
+
+/// Escapes a label value for the text exposition: backslash, double
+/// quote, and newline become `\\`, `\"`, `\n` (the Prometheus text
+/// format's escaping rules), so arbitrary client-supplied strings
+/// cannot break line or label framing.
+pub fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds `name{k1="v1",k2="v2"}` with escaped label values. An empty
+/// label set returns the bare name.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_owned();
+    }
+    let mut out = String::from(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a stat path into `(base, labels)` where `labels` includes the
+/// braces (`"lat{client=\"a\"}"` -> `("lat", "{client=\"a\"}")`).
+fn split_labels(path: &str) -> (&str, &str) {
+    match path.find('{') {
+        Some(i) => path.split_at(i),
+        None => (path, ""),
+    }
 }
 
 /// A component that can report its statistics into a [`Scope`].
@@ -73,6 +125,14 @@ impl StatsReading {
         }
     }
 
+    /// Histogram snapshot at `path` (None when absent or non-histogram).
+    pub fn histogram(&self, path: &str) -> Option<&HistogramSnapshot> {
+        match self.values.get(path) {
+            Some(StatValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
@@ -86,10 +146,15 @@ impl StatsReading {
         self.values.iter().map(|(k, v)| (k.as_str(), v))
     }
 
-    /// Renders the reading as plain text, one `path value` line per
-    /// stat in path order (the `/metrics` wire format of the
-    /// `esteem-serve` daemon). Gauges print with shortest-round-trip
-    /// formatting, so parsing the line back recovers the exact value.
+    /// Renders the reading as plain text (the `/metrics` wire format of
+    /// the `esteem-serve` daemon): one `path value` line per scalar
+    /// stat in path order, gauges with shortest-round-trip formatting
+    /// so parsing the line back recovers the exact value. Histograms
+    /// expand Prometheus-style into cumulative `path_bucket{le="..."}`
+    /// lines (inclusive upper bounds, closed by `le="+Inf"`) plus
+    /// `path_count` and `path_sum`; label values are escaped via
+    /// [`escape_label_value`] at construction ([`labeled`]), and the
+    /// `le` label composes with any labels already on the path.
     pub fn render_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -98,6 +163,26 @@ impl StatsReading {
                 StatValue::Counter(c) => writeln!(out, "{path} {c}"),
                 StatValue::Gauge(g) => writeln!(out, "{path} {g:?}"),
                 StatValue::Weighted(w) => writeln!(out, "{path} {w}"),
+                StatValue::Histogram(h) => {
+                    let (base, labels) = split_labels(path);
+                    let with_le = |le: &str| -> String {
+                        if labels.is_empty() {
+                            format!("{{le=\"{le}\"}}")
+                        } else {
+                            // `{a="b"}` -> `{a="b",le="..."}`
+                            format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+                        }
+                    };
+                    let mut cum = 0u64;
+                    for (_, upper, count) in h.iter_buckets() {
+                        cum += count;
+                        writeln!(out, "{base}_bucket{} {cum}", with_le(&upper.to_string()))
+                            .expect("writing to String cannot fail");
+                    }
+                    writeln!(out, "{base}_bucket{} {}", with_le("+Inf"), h.count())
+                        .and_then(|()| writeln!(out, "{base}_count{labels} {}", h.count()))
+                        .and_then(|()| writeln!(out, "{base}_sum{labels} {}", h.sum()))
+                }
             }
             .expect("writing to String cannot fail");
         }
@@ -119,9 +204,12 @@ impl StatsReading {
                     (StatValue::Weighted(w), Some(StatValue::Weighted(b))) => {
                         StatValue::Weighted(w.saturating_sub(*b))
                     }
+                    (StatValue::Histogram(h), Some(StatValue::Histogram(b))) => {
+                        StatValue::Histogram(h.delta_since(b))
+                    }
                     // Gauges (and type-mismatched or missing bases) keep
                     // the current value.
-                    _ => *v,
+                    _ => v.clone(),
                 };
                 (k.clone(), d)
             })
@@ -150,6 +238,13 @@ impl Scope<'_> {
     pub fn weighted(&mut self, name: &str, value: u128) {
         self.values
             .insert(format!("{}{name}", self.prefix), StatValue::Weighted(value));
+    }
+
+    /// Records a histogram snapshot. `name` may carry labels built with
+    /// [`labeled`] (`"latency_us{client=\"a\"}"`).
+    pub fn histogram(&mut self, name: &str, snap: HistogramSnapshot) {
+        self.values
+            .insert(format!("{}{name}", self.prefix), StatValue::Histogram(snap));
     }
 
     /// Opens a nested scope (`"cores"` -> `"cores/0"` -> `"cores/0/l1"`).
@@ -256,6 +351,63 @@ mod tests {
         // Gauge lines round-trip through parse.
         let g: f64 = lines[3].rsplit(' ').next().unwrap().parse().unwrap();
         assert_eq!(g, 0.5);
+    }
+
+    #[test]
+    fn render_text_expands_histograms_with_labels() {
+        use crate::Histogram;
+        let h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(10);
+        let mut r = StatsReading::new();
+        r.scope("serve", |s| {
+            s.histogram("lat_us", h.snapshot());
+            s.histogram(&labeled("lat_us", &[("client", "a\"b")]), h.snapshot());
+        });
+        let text = r.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                r#"serve/lat_us_bucket{le="3"} 2"#,
+                r#"serve/lat_us_bucket{le="10"} 3"#,
+                r#"serve/lat_us_bucket{le="+Inf"} 3"#,
+                "serve/lat_us_count 3",
+                "serve/lat_us_sum 16",
+                r#"serve/lat_us_bucket{client="a\"b",le="3"} 2"#,
+                r#"serve/lat_us_bucket{client="a\"b",le="10"} 3"#,
+                r#"serve/lat_us_bucket{client="a\"b",le="+Inf"} 3"#,
+                r#"serve/lat_us_count{client="a\"b"} 3"#,
+                r#"serve/lat_us_sum{client="a\"b"} 16"#,
+            ]
+        );
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label_value(r"plain"), "plain");
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(labeled("m", &[]), "m");
+        assert_eq!(labeled("m", &[("k", "v"), ("x", "y")]), r#"m{k="v",x="y"}"#);
+    }
+
+    #[test]
+    fn histogram_reading_accessor_and_delta() {
+        use crate::Histogram;
+        let h = Histogram::new();
+        h.record(5);
+        let mut before = StatsReading::new();
+        before.scope("x", |s| s.histogram("lat", h.snapshot()));
+        h.record(100);
+        let mut after = StatsReading::new();
+        after.scope("x", |s| s.histogram("lat", h.snapshot()));
+        assert_eq!(after.histogram("x/lat").unwrap().count(), 2);
+        assert!(after.histogram("x/missing").is_none());
+        let d = after.delta_since(&before);
+        let dh = d.histogram("x/lat").unwrap();
+        assert_eq!(dh.count(), 1);
+        assert_eq!(dh.sum(), 100);
     }
 
     #[test]

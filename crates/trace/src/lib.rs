@@ -55,6 +55,13 @@ pub trait TraceSink: Send {
         Vec::new()
     }
 
+    /// Copies the buffered events without consuming them (oldest
+    /// first). The flight recorder uses this so a live inspection
+    /// never steals events from the eventual post-run drain.
+    fn snapshot(&self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
     /// Flushes buffered output, surfacing any deferred I/O error.
     fn flush(&mut self) -> std::io::Result<()> {
         Ok(())
@@ -109,6 +116,10 @@ impl TraceSink for RingTracer {
     fn drain(&mut self) -> Vec<TraceEvent> {
         self.buf.drain(..).collect()
     }
+
+    fn snapshot(&self) -> Vec<TraceEvent> {
+        self.buf.iter().cloned().collect()
+    }
 }
 
 /// Collects every event unboundedly (tests and short programmatic runs).
@@ -124,6 +135,10 @@ impl TraceSink for VecTraceSink {
 
     fn drain(&mut self) -> Vec<TraceEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.clone()
     }
 }
 
@@ -224,6 +239,15 @@ impl Tracer {
         }
     }
 
+    /// Copies the buffered events without consuming them (oldest
+    /// first) — a read-only tap for live inspection endpoints.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(s) => lock_sink(s).snapshot(),
+        }
+    }
+
     /// Events dropped by the sink so far.
     pub fn dropped(&self) -> u64 {
         match &self.inner {
@@ -302,6 +326,19 @@ mod tests {
             vec![2, 3, 4],
             "oldest events dropped first"
         );
+    }
+
+    #[test]
+    fn snapshot_is_non_destructive() {
+        let t = Tracer::ring(8, TraceFilter::all());
+        for c in 0..3 {
+            t.emit(EventKind::Refresh, || refresh_ev(c));
+        }
+        assert_eq!(t.snapshot().len(), 3);
+        assert_eq!(t.snapshot().len(), 3, "snapshot leaves the buffer intact");
+        assert_eq!(t.drain().len(), 3, "drain still sees everything");
+        assert!(t.snapshot().is_empty());
+        assert!(Tracer::off().snapshot().is_empty());
     }
 
     #[test]

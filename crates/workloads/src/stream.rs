@@ -79,12 +79,12 @@ struct PhaseFast {
     scan_region: u64,
 }
 
-/// Exact integer threshold for `r < frac` (see [`PhaseFast`]).
+/// Exact integer threshold for `r < frac` (see `PhaseFast`).
 fn lt_threshold(frac: f64) -> u64 {
     (frac * (1u64 << 53) as f64).ceil() as u64
 }
 
-/// Exact integer threshold for `r <= cum` (see [`PhaseFast`]).
+/// Exact integer threshold for `r <= cum` (see `PhaseFast`).
 fn le_threshold(cum: f64) -> u64 {
     (cum * (1u64 << 53) as f64).floor() as u64 + 1
 }
@@ -117,7 +117,7 @@ pub struct AccessStream {
     core_base: u64,
     /// Precomputed zone mixture per phase (float reference path).
     mixtures: Vec<ZoneMixture>,
-    /// Precomputed per-phase hot-path constants (see [`PhaseFast`]).
+    /// Precomputed per-phase hot-path constants (see `PhaseFast`).
     fast: Vec<PhaseFast>,
     phase_idx: usize,
     instrs_in_phase: u64,
@@ -269,7 +269,7 @@ impl AccessStream {
     /// Emits the exact same bundle sequence as repeated
     /// [`Self::next_bundle`] calls: same RNG draw order, with every f64
     /// comparison replaced by its precomputed exact integer threshold
-    /// (see [`PhaseFast`]) and all generator state held in locals across
+    /// (see `PhaseFast`) and all generator state held in locals across
     /// the loop. This is the simulator front end's hot path.
     pub fn fill_encoded(&mut self, enc: &mut Vec<u64>, instrs_out: &mut Vec<u32>, upto: usize) {
         if enc.len() >= upto {

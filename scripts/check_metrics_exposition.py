@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate the daemon's /metrics exposition text.
+
+Reads the exposition from a file argument (or stdin) and checks the
+grammar the ESTEEM stack emits — `path value` lines where the path may
+carry a `{key="value",...}` label block — plus the histogram invariants:
+
+  * every line parses: path, optional label block, one numeric value;
+  * label values use only the supported escapes (\\\\, \\", \\n);
+  * every `<base>_bucket` family has a `+Inf` bucket, its cumulative
+    counts are monotonically non-decreasing in `le`, and the `+Inf`
+    count equals the `<base>_count` line;
+  * every histogram family has a `<base>_sum` line.
+
+Exits 0 when the exposition is well-formed, 1 with a line-numbered
+complaint otherwise. Used by the CI smoke-serve job against a live
+daemon; `cargo test` covers the same rendering at the unit level.
+"""
+
+import re
+import sys
+from collections import defaultdict
+
+LINE_RE = re.compile(
+    r"^(?P<path>[A-Za-z0-9_:/.\-]+)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>-?(?:[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?|inf|NaN))$"
+)
+# One label: key="..." with only \\ \" \n escapes inside the quotes.
+LABEL_RE = re.compile(r'([A-Za-z0-9_]+)="((?:[^"\\\n]|\\\\|\\"|\\n)*)"')
+
+
+def parse_labels(raw, lineno, errors):
+    """Split a label block into a dict, validating the escape grammar."""
+    labels = {}
+    rest = raw
+    while rest:
+        m = LABEL_RE.match(rest)
+        if not m:
+            errors.append(f"line {lineno}: bad label block near {rest!r}")
+            return labels
+        labels[m.group(1)] = m.group(2)
+        rest = rest[m.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            errors.append(f"line {lineno}: junk after label near {rest!r}")
+            return labels
+    return labels
+
+
+def main():
+    if len(sys.argv) > 1:
+        text = open(sys.argv[1], encoding="utf-8").read()
+    else:
+        text = sys.stdin.read()
+
+    errors = []
+    # family key: (base path, frozenset of non-le labels) -> [(le, count)]
+    buckets = defaultdict(list)
+    scalars = {}  # full path with labels -> value
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        m = LINE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparsable: {line!r}")
+            continue
+        path, raw_labels, value = m.group("path"), m.group("labels"), m.group("value")
+        labels = parse_labels(raw_labels, lineno, errors) if raw_labels is not None else {}
+        val = float(value)
+        if path.endswith("_bucket") and "le" in labels:
+            le = labels.pop("le")
+            key = (path[: -len("_bucket")], frozenset(labels.items()))
+            buckets[key].append((lineno, le, val))
+        else:
+            key = path + (
+                "{" + ",".join(f'{k}="{v}"' for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            scalars[key] = val
+
+    def scalar(base, labels):
+        key = base + (
+            "{" + ",".join(f'{k}="{v}"' for k, v in sorted(labels)) + "}"
+            if labels
+            else ""
+        )
+        return scalars.get(key)
+
+    if not buckets:
+        errors.append("no histogram bucket lines found (expected after serving a job)")
+
+    for (base, labels), series in sorted(buckets.items()):
+        finite = [(n, float(le), c) for (n, le, c) in series if le != "+Inf"]
+        inf = [(n, c) for (n, le, c) in series if le == "+Inf"]
+        if len(inf) != 1:
+            errors.append(f"{base}: expected exactly one +Inf bucket, got {len(inf)}")
+            continue
+        if sorted(le for _, le, _ in finite) != [le for _, le, _ in finite]:
+            errors.append(f"{base}: bucket les are not sorted ascending")
+        counts = [c for _, _, c in finite] + [inf[0][1]]
+        for a, b in zip(counts, counts[1:]):
+            if b < a:
+                errors.append(f"{base}: cumulative counts decrease ({a} -> {b})")
+                break
+        count_line = scalar(base + "_count", labels)
+        if count_line is None:
+            errors.append(f"{base}: missing _count line")
+        elif count_line != inf[0][1]:
+            errors.append(
+                f"{base}: _count {count_line} != +Inf bucket {inf[0][1]}"
+            )
+        if scalar(base + "_sum", labels) is None:
+            errors.append(f"{base}: missing _sum line")
+
+    if errors:
+        for e in errors:
+            print(f"check_metrics_exposition: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"check_metrics_exposition: OK "
+        f"({len(scalars)} scalar lines, {len(buckets)} histogram families)"
+    )
+
+
+if __name__ == "__main__":
+    main()

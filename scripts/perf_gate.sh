@@ -3,7 +3,10 @@
 #
 # Runs the full esteem-microbench suite and fails if end-to-end simulator
 # throughput (`sim_minstr_per_s`) fell more than an allowed fraction below
-# the committed reference in BENCH_hotpath.json. The reference numbers are
+# the committed reference in BENCH_hotpath.json, or if the per-event
+# metrics tap (`histogram_record_ns`) got slower by more than the inverse
+# margin — the tap guards every latency histogram in the daemon and the
+# simulator, so a regression there taxes everything. The reference numbers are
 # machine-dependent, so the gate is a *smoke* check with a generous margin:
 # it catches "someone made the hot path 2x slower", not 3% drift. CI
 # machines that are simply slower than the reference box can lower the bar
@@ -44,4 +47,25 @@ awk -v m="$measured" -v fl="$floor" 'BEGIN { exit !(m + 0 >= fl + 0) }' || {
   echo "           (regenerate BENCH_hotpath.json if the slowdown is intended)" >&2
   exit 1
 }
+
+# Histogram record cost: lower is better, so the ceiling is the committed
+# value divided by the same fraction. Skipped against reference files that
+# predate the key.
+committed_hist="$(extract "$ref" histogram_record_ns)"
+if [ -n "$committed_hist" ]; then
+  measured_hist="$(extract "$fresh" histogram_record_ns)"
+  if [ -z "$measured_hist" ]; then
+    echo "perf gate: microbench produced no histogram_record_ns" >&2
+    exit 2
+  fi
+  ceiling="$(awk -v c="$committed_hist" -v f="$fraction" 'BEGIN { printf "%.2f", c / f }')"
+  echo "perf gate: committed ${committed_hist} ns/record, measured ${measured_hist}, ceiling ${ceiling}"
+  awk -v m="$measured_hist" -v cl="$ceiling" 'BEGIN { exit !(m + 0 <= cl + 0) }' || {
+    echo "perf gate: FAIL — histogram_record_ns ${measured_hist} > ${ceiling}" >&2
+    echo "           (regenerate BENCH_hotpath.json if the slowdown is intended)" >&2
+    exit 1
+  }
+else
+  echo "perf gate: reference has no histogram_record_ns; skipping that check"
+fi
 echo "perf gate: OK"
