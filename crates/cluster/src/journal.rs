@@ -1,0 +1,319 @@
+//! Coordinator journal: crash-safe append-only record of sweeps, job
+//! submissions, dispatch decisions, and outcomes.
+//!
+//! Same shape and philosophy as the worker journal
+//! ([`esteem_serve::journal`]): one JSON object per line, flushed per
+//! record, torn/corrupt lines skipped on replay. Reports are *not*
+//! journaled — a recovered `done` job re-materializes its report from
+//! the process-global run cache by fingerprint, and if the cache no
+//! longer holds it the job is simply re-dispatched (the simulator is
+//! deterministic, so the re-run reproduces the identical bytes).
+//!
+//! ```text
+//! {"event":"sweep","sweep":1,"jobs":[1,2,3],"t":..}
+//! {"event":"submit","job":1,"sweep":1,"fingerprint":"00ab..","spec":{..},"t":..}
+//! {"event":"dispatch","job":1,"node":"w1","t":..}
+//! {"event":"done","job":1,"t":..}
+//! {"event":"fail","job":2,"error":"..","t":..}
+//! ```
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use esteem_serve::JobSpec;
+use serde::{map_get, Deserialize, Serialize, Value};
+
+/// Append-side handle; [`CoordJournal::none`] disables journaling.
+pub struct CoordJournal {
+    file: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    path: Option<PathBuf>,
+}
+
+fn epoch_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+impl CoordJournal {
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::File::options()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Self {
+            file: Some(Mutex::new(std::io::BufWriter::new(file))),
+            path: Some(path.to_owned()),
+        })
+    }
+
+    pub fn none() -> Self {
+        Self {
+            file: None,
+            path: None,
+        }
+    }
+
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    fn record(&self, mut fields: Vec<(String, Value)>) {
+        let Some(file) = &self.file else { return };
+        fields.push(("t".into(), epoch_secs().to_value()));
+        let line = serde_json::to_string(&Value::Map(fields)).expect("journal record serializes");
+        let mut w = file.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+
+    pub fn sweep(&self, sweep: u64, jobs: &[u64]) {
+        self.record(vec![
+            ("event".into(), Value::Str("sweep".into())),
+            ("sweep".into(), sweep.to_value()),
+            (
+                "jobs".into(),
+                Value::Seq(jobs.iter().map(|j| j.to_value()).collect()),
+            ),
+        ]);
+    }
+
+    pub fn submit(&self, job: u64, sweep: Option<u64>, fingerprint: u64, spec: &JobSpec) {
+        let mut fields = vec![
+            ("event".into(), Value::Str("submit".into())),
+            ("job".into(), job.to_value()),
+        ];
+        if let Some(s) = sweep {
+            fields.push(("sweep".into(), s.to_value()));
+        }
+        fields.push((
+            "fingerprint".into(),
+            Value::Str(format!("{fingerprint:016x}")),
+        ));
+        fields.push(("spec".into(), spec.to_value()));
+        self.record(fields);
+    }
+
+    pub fn dispatch(&self, job: u64, node: &str) {
+        self.record(vec![
+            ("event".into(), Value::Str("dispatch".into())),
+            ("job".into(), job.to_value()),
+            ("node".into(), Value::Str(node.into())),
+        ]);
+    }
+
+    pub fn done(&self, job: u64) {
+        self.record(vec![
+            ("event".into(), Value::Str("done".into())),
+            ("job".into(), job.to_value()),
+        ]);
+    }
+
+    pub fn fail(&self, job: u64, error: &str) {
+        self.record(vec![
+            ("event".into(), Value::Str("fail".into())),
+            ("job".into(), job.to_value()),
+            ("error".into(), Value::Str(error.into())),
+        ]);
+    }
+}
+
+/// Replayed outcome of one coordinator job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoordOutcome {
+    /// Never finished (possibly dispatched at crash time): re-dispatch.
+    Unfinished,
+    /// Finished; the report re-materializes from the run cache or, if
+    /// evicted, by re-dispatching (deterministic).
+    Done,
+    Failed(String),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordRecoveredJob {
+    pub id: u64,
+    pub spec: JobSpec,
+    pub fingerprint: u64,
+    pub sweep: Option<u64>,
+    /// Last dispatch target, informational only.
+    pub last_node: Option<String>,
+    pub outcome: CoordOutcome,
+}
+
+#[derive(Debug, Default)]
+pub struct CoordRecovery {
+    /// In submit order.
+    pub jobs: Vec<CoordRecoveredJob>,
+    /// sweep id -> member job ids, in cell order.
+    pub sweeps: Vec<(u64, Vec<u64>)>,
+    pub max_job_id: u64,
+    pub max_sweep_id: u64,
+    pub skipped_lines: u64,
+}
+
+/// Replays a coordinator journal; missing file = empty recovery.
+pub fn recover(path: &Path) -> std::io::Result<CoordRecovery> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(CoordRecovery::default()),
+        Err(e) => return Err(e),
+    };
+    let mut rec = CoordRecovery::default();
+    let mut index: HashMap<u64, usize> = HashMap::new();
+    for raw in bytes.split(|&b| b == b'\n') {
+        if raw.iter().all(u8::is_ascii_whitespace) {
+            continue;
+        }
+        let Ok(line) = std::str::from_utf8(raw) else {
+            rec.skipped_lines += 1;
+            continue;
+        };
+        let Ok(v) = serde_json::from_str::<Value>(line) else {
+            rec.skipped_lines += 1;
+            continue;
+        };
+        if apply(&mut rec, &mut index, &v).is_none() {
+            rec.skipped_lines += 1;
+        }
+    }
+    Ok(rec)
+}
+
+fn apply(rec: &mut CoordRecovery, index: &mut HashMap<u64, usize>, v: &Value) -> Option<()> {
+    let m = v.as_map()?;
+    let event = map_get(m, "event").ok()?.as_str()?;
+    if event == "sweep" {
+        let id = u64::from_value(map_get(m, "sweep").ok()?).ok()?;
+        let jobs: Vec<u64> = map_get(m, "jobs")
+            .ok()?
+            .as_seq()?
+            .iter()
+            .map(|j| u64::from_value(j).ok())
+            .collect::<Option<_>>()?;
+        rec.max_sweep_id = rec.max_sweep_id.max(id);
+        rec.sweeps.push((id, jobs));
+        return Some(());
+    }
+    let id = u64::from_value(map_get(m, "job").ok()?).ok()?;
+    rec.max_job_id = rec.max_job_id.max(id);
+    match event {
+        "submit" => {
+            let spec = JobSpec::from_value(map_get(m, "spec").ok()?).ok()?;
+            let fp = map_get(m, "fingerprint").ok()?.as_str()?;
+            let fingerprint = u64::from_str_radix(fp, 16).ok()?;
+            let sweep = match map_get(m, "sweep") {
+                Ok(s) => Some(u64::from_value(s).ok()?),
+                Err(_) => None,
+            };
+            index.insert(id, rec.jobs.len());
+            rec.jobs.push(CoordRecoveredJob {
+                id,
+                spec,
+                fingerprint,
+                sweep,
+                last_node: None,
+                outcome: CoordOutcome::Unfinished,
+            });
+        }
+        "dispatch" => {
+            let node = map_get(m, "node").ok()?.as_str()?.to_owned();
+            rec.jobs[*index.get(&id)?].last_node = Some(node);
+        }
+        "done" => {
+            rec.jobs[*index.get(&id)?].outcome = CoordOutcome::Done;
+        }
+        "fail" => {
+            let error = map_get(m, "error").ok()?.as_str()?.to_owned();
+            rec.jobs[*index.get(&id)?].outcome = CoordOutcome::Failed(error);
+        }
+        _ => return None,
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "esteem-coord-journal-{}-{name}",
+            std::process::id()
+        ))
+    }
+
+    fn spec(seed: u64) -> JobSpec {
+        JobSpec {
+            workload: "gamess".into(),
+            seed,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn round_trips_sweeps_dispatches_and_outcomes() {
+        let path = tmp("roundtrip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let j = CoordJournal::open(&path).unwrap();
+        j.sweep(1, &[1, 2]);
+        j.submit(1, Some(1), 0xa, &spec(1));
+        j.submit(2, Some(1), 0xb, &spec(2));
+        j.submit(3, None, 0xc, &spec(3));
+        j.dispatch(1, "w1");
+        j.dispatch(2, "w2");
+        j.done(1);
+        j.fail(2, "boom");
+        // Job 3 dispatched but unfinished at crash time.
+        j.dispatch(3, "w1");
+        drop(j);
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.skipped_lines, 0);
+        assert_eq!(rec.max_job_id, 3);
+        assert_eq!(rec.max_sweep_id, 1);
+        assert_eq!(rec.sweeps, vec![(1, vec![1, 2])]);
+        assert_eq!(rec.jobs.len(), 3);
+        assert_eq!(rec.jobs[0].outcome, CoordOutcome::Done);
+        assert_eq!(rec.jobs[0].sweep, Some(1));
+        assert_eq!(rec.jobs[0].last_node.as_deref(), Some("w1"));
+        assert_eq!(rec.jobs[1].outcome, CoordOutcome::Failed("boom".into()));
+        assert_eq!(rec.jobs[2].outcome, CoordOutcome::Unfinished);
+        assert_eq!(rec.jobs[2].sweep, None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_and_orphans_are_skipped() {
+        let path = tmp("torn.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let j = CoordJournal::open(&path).unwrap();
+        j.submit(1, None, 0x1, &spec(1));
+        j.done(9); // orphan: no submit survived
+        drop(j);
+        {
+            let mut f = std::fs::File::options().append(true).open(&path).unwrap();
+            f.write_all(b"{\"event\":\"done\",\"jo").unwrap();
+        }
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.skipped_lines, 2);
+        assert_eq!(rec.jobs.len(), 1);
+        assert_eq!(rec.jobs[0].outcome, CoordOutcome::Unfinished);
+        // The orphan still advances the id high-water mark.
+        assert_eq!(rec.max_job_id, 9);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let rec = recover(Path::new("/nonexistent/esteem-coord.jsonl")).unwrap();
+        assert!(rec.jobs.is_empty() && rec.sweeps.is_empty());
+    }
+}

@@ -1,4 +1,5 @@
-//! Command-line client for the `esteem-serve` daemon.
+//! Command-line client for the `esteem-serve` daemon and the
+//! `esteem-coord` cluster coordinator.
 //!
 //! ```text
 //! esteem-client <addr> submit [job-options] <benchmark|mix>
@@ -7,11 +8,19 @@
 //!                                            # JSON exactly as
 //!                                            # `esteem-sim --json` would
 //! esteem-client <addr> events <job-id>       # streams interval JSONL
+//! esteem-client <addr> sweep [job-options] --grid f=v1,v2 ... <benchmark|mix>
+//! esteem-client <addr> sweep-status <sweep-id>
+//! esteem-client <addr> sweep-report <sweep-id> [--wait]
 //! esteem-client <addr> metrics
 //! esteem-client <addr> get <path>            # raw GET, prints the body
 //!                                            # (e.g. /v1/status,
 //!                                            #  /v1/flight-recorder)
 //! esteem-client <addr> shutdown
+//!
+//! Global flags (before or after the command):
+//!   --retries n      retry transport errors n times (default 0)
+//!   --backoff-ms ms  base delay for jittered exponential backoff
+//!                    (default 250; doubles per retry, capped at 16x)
 //!
 //! job-options mirror esteem-sim flags:
 //!   --technique t --retention us --instructions n --alpha f --a-min n
@@ -23,10 +32,12 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use esteem_serve::client;
+use esteem_serve::client::RetryPolicy;
 use esteem_serve::JobSpec;
+use serde::Value;
 
-const HELP: &str =
-    "usage: esteem-client <addr> <submit|poll|fetch|events|metrics|get|shutdown> ...";
+const HELP: &str = "usage: esteem-client [--retries n] [--backoff-ms ms] <addr> \
+     <submit|poll|fetch|events|sweep|sweep-status|sweep-report|metrics|get|shutdown> ...";
 
 fn next(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
     it.next()
@@ -82,18 +93,104 @@ fn job_id(args: &[String]) -> Result<u64, String> {
         .map_err(|e| format!("job id: {e}"))
 }
 
+/// Pulls `--retries` / `--backoff-ms` out of the raw argument list
+/// (allowed anywhere) and returns the retry policy plus remaining args.
+fn split_retry_flags(args: Vec<String>) -> Result<(RetryPolicy, Vec<String>), String> {
+    let mut retries = 0u32;
+    let mut backoff_ms = 250u64;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--retries" => {
+                retries = it
+                    .next()
+                    .ok_or("--retries needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--backoff-ms" => {
+                backoff_ms = it
+                    .next()
+                    .ok_or("--backoff-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--backoff-ms: {e}"))?;
+            }
+            _ => rest.push(arg),
+        }
+    }
+    let policy = if retries == 0 {
+        RetryPolicy::none()
+    } else {
+        RetryPolicy::new(retries, backoff_ms).with_seed(std::process::id().into())
+    };
+    Ok((policy, rest))
+}
+
+/// Parses one `--grid field=v1,v2,...` axis into `(field, values)`.
+/// Values become JSON numbers where they parse as such, strings otherwise.
+fn parse_grid_axis(arg: &str) -> Result<(String, Value), String> {
+    let (field, values) = arg
+        .split_once('=')
+        .ok_or_else(|| format!("--grid wants field=v1,v2,... (got {arg:?})"))?;
+    let mut seq = Vec::new();
+    for raw in values.split(',') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let v = if let Ok(n) = raw.parse::<u64>() {
+            Value::U64(n)
+        } else if let Ok(n) = raw.parse::<i64>() {
+            Value::I64(n)
+        } else if let Ok(n) = raw.parse::<f64>() {
+            Value::F64(n)
+        } else {
+            Value::Str(raw.to_owned())
+        };
+        seq.push(v);
+    }
+    if seq.is_empty() {
+        return Err(format!("--grid {field}= has no values"));
+    }
+    Ok((field.to_owned(), Value::Seq(seq)))
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) => u64::try_from(*n).ok(),
+        _ => None,
+    }
+}
+
+fn sweep_progress(v: &Value) -> Option<(u64, u64, u64)> {
+    let m = v.as_map()?;
+    let get = |k: &str| {
+        m.iter()
+            .find(|(key, _)| key == k)
+            .and_then(|(_, v)| as_u64(v))
+    };
+    Some((get("done")?, get("failed")?, get("total")?))
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "-h" || a == "--help") || args.len() < 2 {
+    if args.iter().any(|a| a == "-h" || a == "--help") {
         return Err(HELP.into());
     }
+    let (policy, args) = split_retry_flags(args)?;
+    if args.len() < 2 {
+        return Err(HELP.into());
+    }
+    let read_timeout = client::DEFAULT_READ_TIMEOUT;
     let addr = &args[0];
     let cmd = args[1].as_str();
     let rest = &args[2..];
     match cmd {
         "submit" => {
             let spec = parse_spec(rest)?;
-            let resp = client::submit(addr, &spec)?;
+            let resp = client::submit_with(addr, &spec, &policy, read_timeout)?;
             let mut note = String::new();
             if resp.coalesced {
                 note.push_str(" (coalesced onto an identical in-flight job)");
@@ -105,12 +202,18 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "poll" => {
-            let (state, _) = client::poll(addr, job_id(rest)?)?;
+            let (state, _) = client::poll_with(addr, job_id(rest)?, &policy, read_timeout)?;
             println!("{state}");
             Ok(())
         }
         "fetch" => {
-            let result = client::fetch(addr, job_id(rest)?, Duration::from_millis(50))?;
+            let result = client::fetch_with(
+                addr,
+                job_id(rest)?,
+                Duration::from_millis(50),
+                &policy,
+                read_timeout,
+            )?;
             // Byte-identical to `esteem-sim --json`: both pretty-print
             // the same report value.
             let pretty =
@@ -125,6 +228,110 @@ fn run() -> Result<(), String> {
                 })?;
             if status != 200 {
                 return Err(format!("events failed ({status})"));
+            }
+            Ok(())
+        }
+        "sweep" => {
+            // Pull --grid axes out, hand everything else to parse_spec.
+            let mut grid = Vec::new();
+            let mut spec_args = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                if arg == "--grid" {
+                    let axis = it.next().ok_or("--grid needs field=v1,v2,...")?;
+                    let (field, values) = parse_grid_axis(axis)?;
+                    grid.push((field, values));
+                } else {
+                    spec_args.push(arg.clone());
+                }
+            }
+            if grid.is_empty() {
+                return Err("sweep needs at least one --grid field=v1,v2,... axis".into());
+            }
+            let spec = parse_spec(&spec_args)?;
+            let base: Value = serde_json::from_str(
+                &serde_json::to_string(&spec).map_err(|e| format!("encoding spec: {e}"))?,
+            )
+            .map_err(|e| format!("round-tripping spec: {e}"))?;
+            let body = serde_json::to_string(&Value::Map(vec![
+                ("base".to_owned(), base),
+                ("grid".to_owned(), Value::Map(grid)),
+            ]))
+            .map_err(|e| format!("encoding sweep: {e}"))?;
+            let (status, resp) = client::request_with(
+                addr,
+                "POST",
+                "/v1/sweeps",
+                Some(&body),
+                &policy,
+                read_timeout,
+            )?;
+            if status != 202 {
+                return Err(format!("sweep failed ({status}): {resp}"));
+            }
+            let v: Value = serde_json::from_str(&resp).map_err(|e| format!("bad response: {e}"))?;
+            let m = v.as_map().ok_or("response is not an object")?;
+            let get = |k: &str| {
+                m.iter()
+                    .find(|(key, _)| key == k)
+                    .and_then(|(_, v)| as_u64(v))
+            };
+            println!(
+                "sweep {} ({} jobs)",
+                get("sweep").ok_or("response missing sweep id")?,
+                get("total").unwrap_or(0)
+            );
+            Ok(())
+        }
+        "sweep-status" => {
+            let id = job_id(rest)?;
+            let (status, body) = client::request_with(
+                addr,
+                "GET",
+                &format!("/v1/sweeps/{id}"),
+                None,
+                &policy,
+                read_timeout,
+            )?;
+            if status != 200 {
+                return Err(format!("sweep-status failed ({status}): {body}"));
+            }
+            println!("{body}");
+            Ok(())
+        }
+        "sweep-report" => {
+            let id = job_id(rest)?;
+            if rest.iter().any(|a| a == "--wait") {
+                loop {
+                    let (status, body) = client::request_with(
+                        addr,
+                        "GET",
+                        &format!("/v1/sweeps/{id}"),
+                        None,
+                        &policy,
+                        read_timeout,
+                    )?;
+                    if status != 200 {
+                        return Err(format!("sweep-report failed ({status}): {body}"));
+                    }
+                    let v: Value =
+                        serde_json::from_str(&body).map_err(|e| format!("bad response: {e}"))?;
+                    let (done, failed, total) =
+                        sweep_progress(&v).ok_or("response missing progress counters")?;
+                    if failed > 0 {
+                        return Err(format!("sweep {id}: {failed}/{total} cells failed"));
+                    }
+                    if done == total {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+            }
+            let status = client::stream_lines(addr, &format!("/v1/sweeps/{id}/report"), |l| {
+                println!("{l}");
+            })?;
+            if status != 200 {
+                return Err(format!("sweep-report failed ({status})"));
             }
             Ok(())
         }

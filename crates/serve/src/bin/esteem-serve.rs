@@ -13,6 +13,16 @@
 //!                           stage timings + trace ring) whenever a
 //!                           job panics
 //!   --flight-jobs <n>       flight-recorder depth (default 256)
+//!   --compact-journal       rewrite --journal keeping only terminal
+//!                           job records, print stats, and exit (the
+//!                           daemon does not start)
+//!   --coordinator <addr>    join a cluster: register/heartbeat with
+//!                           this esteem-coord coordinator
+//!   --node-id <name>        stable cluster node name
+//!                           (default worker-<pid>)
+//!   --advertise <addr>      address other nodes dial for this worker
+//!                           (default: the bound address)
+//!   --heartbeat-ms <ms>     cluster heartbeat interval (default 1000)
 //! ```
 //!
 //! The daemon exits after `POST /v1/shutdown`: the queue closes, every
@@ -25,19 +35,26 @@ use std::process::ExitCode;
 use esteem_serve::ServerOptions;
 
 const HELP: &str = "usage: esteem-serve [--addr host:port] [--workers n] [--queue-capacity n] \
-     [--journal file] [--flight-dump file] [--flight-jobs n]";
+     [--journal file] [--flight-dump file] [--flight-jobs n] [--compact-journal] \
+     [--coordinator addr] [--node-id name] [--advertise addr] [--heartbeat-ms ms]";
 
-fn parse() -> Result<ServerOptions, String> {
+fn parse() -> Result<(ServerOptions, bool), String> {
     let mut opts = ServerOptions {
         addr: "127.0.0.1:7117".into(),
         ..ServerOptions::default()
     };
+    let mut compact = false;
+    let mut coordinator: Option<String> = None;
+    let mut node_id: Option<String> = None;
+    let mut advertise: Option<String> = None;
+    let mut heartbeat_ms: u64 = 1000;
     let mut it = std::env::args().skip(1);
     let next = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next().ok_or_else(|| format!("{flag} needs a value"))
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--compact-journal" => compact = true,
             "--addr" => opts.addr = next(&mut it, "--addr")?,
             "--workers" => {
                 opts.workers = next(&mut it, "--workers")?
@@ -65,21 +82,67 @@ fn parse() -> Result<ServerOptions, String> {
                     return Err("--flight-jobs must be >= 1".into());
                 }
             }
+            "--coordinator" => coordinator = Some(next(&mut it, "--coordinator")?),
+            "--node-id" => node_id = Some(next(&mut it, "--node-id")?),
+            "--advertise" => advertise = Some(next(&mut it, "--advertise")?),
+            "--heartbeat-ms" => {
+                heartbeat_ms = next(&mut it, "--heartbeat-ms")?
+                    .parse()
+                    .map_err(|e| format!("--heartbeat-ms: {e}"))?;
+                if heartbeat_ms == 0 {
+                    return Err("--heartbeat-ms must be >= 1".into());
+                }
+            }
             "-h" | "--help" => return Err(HELP.into()),
             other => return Err(format!("unknown flag {other}\n{HELP}")),
         }
     }
-    Ok(opts)
+    if let Some(coordinator) = coordinator {
+        let node_id = node_id.unwrap_or_else(|| format!("worker-{}", std::process::id()));
+        let mut cfg = esteem_serve::ClusterConfig::new(coordinator, node_id);
+        cfg.advertise = advertise;
+        cfg.heartbeat = std::time::Duration::from_millis(heartbeat_ms);
+        opts.cluster = Some(cfg);
+    } else if node_id.is_some() || advertise.is_some() {
+        return Err("--node-id/--advertise need --coordinator".into());
+    }
+    Ok((opts, compact))
 }
 
 fn main() -> ExitCode {
-    let opts = match parse() {
+    let (opts, compact) = match parse() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    if compact {
+        let Some(path) = opts.journal_path.as_deref() else {
+            eprintln!("--compact-journal needs --journal <file>");
+            return ExitCode::FAILURE;
+        };
+        return match esteem_serve::journal::compact(path) {
+            Ok(s) => {
+                println!(
+                    "compacted {}: {} jobs ({} terminal, {} unfinished), \
+                     {} lines -> {} ({} corrupt dropped)",
+                    path.display(),
+                    s.jobs,
+                    s.terminal,
+                    s.unfinished,
+                    s.lines_before,
+                    s.lines_after,
+                    s.skipped
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("compacting {}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
     let daemon = match esteem_serve::spawn(opts) {
         Ok(d) => d,
         Err(e) => {

@@ -1,9 +1,11 @@
 //! Minimal blocking HTTP/1.1 client for the daemon's API (std only).
 //!
 //! One request per connection (`Connection: close`), `Content-Length`
-//! and chunked response bodies, and a streaming mode that hands chunked
-//! lines to a callback as they arrive — enough for `esteem-client` and
-//! the end-to-end tests, and nothing more.
+//! and chunked response bodies, a streaming mode that hands chunked
+//! lines to a callback as they arrive, and an optional [`RetryPolicy`]
+//! with jittered exponential backoff for transport-level failures —
+//! enough for `esteem-client`, the coordinator→worker path, and the
+//! end-to-end tests, and nothing more.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -12,6 +14,89 @@ use std::time::Duration;
 use serde::{map_get, Deserialize, Value};
 
 use crate::job::JobSpec;
+
+/// Default read timeout: long, because `fetch` blocks on the daemon
+/// while a simulation runs.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Jittered exponential backoff schedule for transport-level retries
+/// (connect refused, timeouts, connections dropped mid-response).
+///
+/// Retrying a submit is safe end to end: job submission is idempotent on
+/// the daemon side (identical in-flight specs coalesce, completed specs
+/// hit the run cache), and polls are read-only.
+///
+/// The delay before retry `attempt` (0-based) is drawn with *equal
+/// jitter* from the exponential envelope: the raw delay doubles per
+/// attempt starting at `backoff_ms` and capped at `max_backoff_ms`;
+/// the actual sleep is `capped/2 + rand(0..=capped/2)`. Jitter is
+/// derived deterministically from `jitter_seed` so schedules are
+/// reproducible in tests while distinct clients (distinct seeds)
+/// decorrelate in production.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Number of *re*-tries after the initial attempt (0 = no retries).
+    pub retries: u32,
+    /// Base delay for the exponential envelope, in milliseconds.
+    pub backoff_ms: u64,
+    /// Cap on the raw (pre-jitter) delay, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Seed for deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: fail on the first transport error.
+    pub fn none() -> Self {
+        RetryPolicy {
+            retries: 0,
+            backoff_ms: 0,
+            max_backoff_ms: 0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// `retries` attempts after the first, doubling from `backoff_ms`
+    /// and capped at `16 * backoff_ms`.
+    pub fn new(retries: u32, backoff_ms: u64) -> Self {
+        RetryPolicy {
+            retries,
+            backoff_ms,
+            max_backoff_ms: backoff_ms.saturating_mul(16),
+            jitter_seed: 0x5EED,
+        }
+    }
+
+    /// Same policy with a different jitter seed (decorrelates clients).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Delay in milliseconds before retry `attempt` (0-based).
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let raw = self
+            .backoff_ms
+            .saturating_mul(1u64 << attempt.min(16) as u64);
+        let capped = raw.min(self.max_backoff_ms);
+        let half = capped / 2;
+        half + splitmix64(self.jitter_seed ^ u64::from(attempt)) % (half + 1)
+    }
+
+    /// The full backoff schedule, one delay per retry. Mostly for tests
+    /// and `--help` style introspection.
+    pub fn schedule(&self) -> Vec<u64> {
+        (0..self.retries).map(|a| self.delay_ms(a)).collect()
+    }
+}
+
+/// SplitMix64 — tiny deterministic hash for jitter (no rand dep).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
 
 /// Response head: status + lowercased headers.
 struct Head {
@@ -58,8 +143,12 @@ fn header<'a>(head: &'a Head, name: &str) -> Option<&'a str> {
 }
 
 fn connect(addr: &str) -> Result<TcpStream, String> {
+    connect_with(addr, DEFAULT_READ_TIMEOUT)
+}
+
+fn connect_with(addr: &str, read_timeout: Duration) -> Result<TcpStream, String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(300)));
+    let _ = stream.set_read_timeout(Some(read_timeout));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
     Ok(stream)
 }
@@ -90,7 +179,48 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> Result<(u16, String), String> {
-    let mut stream = connect(addr)?;
+    request_once(addr, method, path, body, DEFAULT_READ_TIMEOUT)
+}
+
+/// [`request`] with a retry policy: transport errors (connect refused,
+/// timeout, connection dropped mid-response) are retried per `policy`;
+/// HTTP error statuses are returned to the caller, not retried.
+pub fn request_with(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    policy: &RetryPolicy,
+    read_timeout: Duration,
+) -> Result<(u16, String), String> {
+    let mut attempt = 0u32;
+    loop {
+        match request_once(addr, method, path, body, read_timeout) {
+            Ok(resp) => return Ok(resp),
+            Err(e) if attempt < policy.retries => {
+                std::thread::sleep(Duration::from_millis(policy.delay_ms(attempt)));
+                attempt += 1;
+                let _ = e;
+            }
+            Err(e) => {
+                return Err(if attempt > 0 {
+                    format!("{e} (after {} retries)", attempt)
+                } else {
+                    e
+                })
+            }
+        }
+    }
+}
+
+fn request_once(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    read_timeout: Duration,
+) -> Result<(u16, String), String> {
+    let mut stream = connect_with(addr, read_timeout)?;
     send_request(&mut stream, method, path, body)?;
     let mut reader = BufReader::new(stream);
     let head = read_head(&mut reader)?;
@@ -182,8 +312,19 @@ pub struct SubmitResponse {
 
 /// Submits a job spec; returns the assigned (or coalesced-onto) job id.
 pub fn submit(addr: &str, spec: &JobSpec) -> Result<SubmitResponse, String> {
+    submit_with(addr, spec, &RetryPolicy::none(), DEFAULT_READ_TIMEOUT)
+}
+
+/// [`submit`] with retries: safe because identical re-submissions
+/// coalesce onto the in-flight job or hit the run cache.
+pub fn submit_with(
+    addr: &str,
+    spec: &JobSpec,
+    policy: &RetryPolicy,
+    read_timeout: Duration,
+) -> Result<SubmitResponse, String> {
     let body = serde_json::to_string(spec).map_err(|e| format!("encoding spec: {e}"))?;
-    let (status, resp) = request(addr, "POST", "/v1/jobs", Some(&body))?;
+    let (status, resp) = request_with(addr, "POST", "/v1/jobs", Some(&body), policy, read_timeout)?;
     if status != 202 {
         return Err(format!("submit failed ({status}): {resp}"));
     }
@@ -201,7 +342,24 @@ pub fn submit(addr: &str, spec: &JobSpec) -> Result<SubmitResponse, String> {
 
 /// `GET /v1/jobs/{id}` parsed into `(state, full response value)`.
 pub fn poll(addr: &str, job: u64) -> Result<(String, Value), String> {
-    let (status, resp) = request(addr, "GET", &format!("/v1/jobs/{job}"), None)?;
+    poll_with(addr, job, &RetryPolicy::none(), DEFAULT_READ_TIMEOUT)
+}
+
+/// [`poll`] with retries (polls are read-only, always safe to retry).
+pub fn poll_with(
+    addr: &str,
+    job: u64,
+    policy: &RetryPolicy,
+    read_timeout: Duration,
+) -> Result<(String, Value), String> {
+    let (status, resp) = request_with(
+        addr,
+        "GET",
+        &format!("/v1/jobs/{job}"),
+        None,
+        policy,
+        read_timeout,
+    )?;
     if status != 200 {
         return Err(format!("poll failed ({status}): {resp}"));
     }
@@ -218,8 +376,25 @@ pub fn poll(addr: &str, job: u64) -> Result<(String, Value), String> {
 /// Polls until the job is terminal. `Ok(result_value)` on done (the
 /// report as a JSON value), `Err` with the job's error on failure.
 pub fn fetch(addr: &str, job: u64, poll_interval: Duration) -> Result<Value, String> {
+    fetch_with(
+        addr,
+        job,
+        poll_interval,
+        &RetryPolicy::none(),
+        DEFAULT_READ_TIMEOUT,
+    )
+}
+
+/// [`fetch`] with per-poll retries.
+pub fn fetch_with(
+    addr: &str,
+    job: u64,
+    poll_interval: Duration,
+    policy: &RetryPolicy,
+    read_timeout: Duration,
+) -> Result<Value, String> {
     loop {
-        let (state, v) = poll(addr, job)?;
+        let (state, v) = poll_with(addr, job, policy, read_timeout)?;
         match state.as_str() {
             "done" => {
                 let m = v.as_map().ok_or("response is not an object")?;
@@ -256,5 +431,78 @@ pub fn metrics(addr: &str) -> Result<String, String> {
         Ok(body)
     } else {
         Err(format!("metrics failed ({status}): {body}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_exponential_capped_and_jittered() {
+        let p = RetryPolicy::new(6, 100);
+        let schedule = p.schedule();
+        assert_eq!(schedule.len(), 6);
+        // Raw envelope: 100, 200, 400, 800, 1600, capped at 1600.
+        let raw = [100u64, 200, 400, 800, 1600, 1600];
+        for (attempt, (&delay, &cap)) in schedule.iter().zip(raw.iter()).enumerate() {
+            assert!(
+                delay >= cap / 2 && delay <= cap,
+                "attempt {attempt}: delay {delay} outside [{}..{}]",
+                cap / 2,
+                cap
+            );
+        }
+        // Deterministic for a fixed seed...
+        assert_eq!(schedule, p.schedule());
+        // ...and decorrelated across seeds.
+        assert_ne!(schedule, p.with_seed(42).schedule());
+    }
+
+    #[test]
+    fn no_retry_policy_has_empty_schedule() {
+        assert!(RetryPolicy::none().schedule().is_empty());
+        assert_eq!(RetryPolicy::new(0, 250).schedule(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn request_with_retries_past_a_dropped_connection() {
+        use std::io::Write as _;
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // First connection: accept and drop without answering.
+            drop(listener.accept().unwrap());
+            // Second connection: serve a real response.
+            let (mut s, _) = listener.accept().unwrap();
+            let mut drain = [0u8; 1024];
+            let _ = std::io::Read::read(&mut s, &mut drain);
+            s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok")
+                .unwrap();
+        });
+        let policy = RetryPolicy::new(2, 1);
+        let (status, body) = request_with(
+            &addr,
+            "GET",
+            "/v1/health",
+            None,
+            &policy,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!((status, body.as_str()), (200, "ok"));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn request_without_retries_fails_fast_on_dead_port() {
+        // Bind-then-drop guarantees the port is closed.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let err = request(&addr, "GET", "/v1/health", None).unwrap_err();
+        assert!(err.contains("connecting to"), "got: {err}");
     }
 }

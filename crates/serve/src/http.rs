@@ -15,11 +15,18 @@ use std::time::Duration;
 
 /// Upper bound on the request head (request line + headers).
 const MAX_HEAD_BYTES: usize = 16 * 1024;
-/// Upper bound on a request body.
+/// Default upper bound on a request body (`Content-Length` or the
+/// decoded size of a chunked body); see [`HttpServer::with_max_body`].
 const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 /// Requests served per connection before the server closes it (a
 /// backstop against one client pinning a connection thread forever).
 const MAX_REQUESTS_PER_CONN: u32 = 1024;
+
+/// Marker carried in the [`std::io::Error`] message for bodies over the
+/// limit, so the connection loop can answer 413 instead of a generic
+/// 400. Oversized bodies close the connection: the unread remainder of
+/// the body would otherwise be parsed as the next request.
+const TOO_LARGE: &str = "request body too large";
 
 /// One parsed request.
 #[derive(Debug)]
@@ -69,6 +76,7 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
@@ -156,6 +164,7 @@ pub struct HttpServer {
     pub counters: Arc<HttpCounters>,
     read_timeout: Duration,
     write_timeout: Duration,
+    max_body: usize,
 }
 
 impl HttpServer {
@@ -173,7 +182,23 @@ impl HttpServer {
             counters: Arc::new(HttpCounters::default()),
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
+            max_body: MAX_BODY_BYTES,
         })
+    }
+
+    /// Overrides the per-socket read/write timeouts (tests use short
+    /// ones to exercise the slow-client path quickly).
+    pub fn with_timeouts(mut self, read: Duration, write: Duration) -> Self {
+        self.read_timeout = read;
+        self.write_timeout = write;
+        self
+    }
+
+    /// Overrides the request-body cap (`Content-Length` or decoded
+    /// chunked size); bodies over it are rejected with 413.
+    pub fn with_max_body(mut self, max_body: usize) -> Self {
+        self.max_body = max_body.max(1);
+        self
     }
 
     pub fn local_addr(&self) -> SocketAddr {
@@ -202,11 +227,12 @@ impl HttpServer {
             let guard = self.conns.enter();
             let stop = Arc::clone(&self.stop);
             let (rt, wt) = (self.read_timeout, self.write_timeout);
+            let max_body = self.max_body;
             std::thread::Builder::new()
                 .name("esteem-serve-conn".into())
                 .spawn(move || {
                     let _guard = guard;
-                    let _ = serve_connection(stream, &handler, &counters, &stop, rt, wt);
+                    let _ = serve_connection(stream, &handler, &counters, &stop, rt, wt, max_body);
                 })
                 .expect("spawn connection thread");
         }
@@ -221,6 +247,7 @@ fn serve_connection(
     stop: &AtomicBool,
     read_timeout: Duration,
     write_timeout: Duration,
+    max_body: usize,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(read_timeout))?;
     stream.set_write_timeout(Some(write_timeout))?;
@@ -228,18 +255,21 @@ fn serve_connection(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     for _ in 0..MAX_REQUESTS_PER_CONN {
-        let req = match read_request(&mut reader) {
+        let req = match read_request(&mut reader, max_body) {
             Ok(Some(req)) => req,
             // Clean end of connection (client closed between requests).
             Ok(None) => return Ok(()),
             Err(e) => {
                 counters.parse_errors.fetch_add(1, Ordering::Relaxed);
                 // Timeouts on an idle keep-alive connection are routine;
-                // anything else gets a best-effort 400 before closing.
+                // anything else gets a best-effort 400 (413 for a body
+                // over the cap) before closing.
                 if e.kind() != std::io::ErrorKind::WouldBlock
                     && e.kind() != std::io::ErrorKind::TimedOut
                 {
-                    let _ = write_simple(&mut writer, 400, "text/plain", e.to_string(), false);
+                    let msg = e.to_string();
+                    let status = if msg.contains(TOO_LARGE) { 413 } else { 400 };
+                    let _ = write_simple(&mut writer, status, "text/plain", msg, false);
                 }
                 return Ok(());
             }
@@ -282,7 +312,10 @@ fn serve_connection(
 
 /// Reads one request. `Ok(None)` means the client closed the connection
 /// cleanly before sending a request line.
-fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> std::io::Result<Option<Request>> {
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
         return Ok(None);
@@ -322,18 +355,27 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Req
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
     }
 
-    let content_length = headers
+    let chunked = headers
         .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse::<usize>())
-        .transpose()
-        .map_err(|_| bad("bad content-length"))?
-        .unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
-        return Err(bad("request body too large"));
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+        .find(|(k, _)| k == "transfer-encoding")
+        .is_some_and(|(_, v)| v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        read_chunked_body(reader, max_body)?
+    } else {
+        let content_length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .map(|(_, v)| v.parse::<usize>())
+            .transpose()
+            .map_err(|_| bad("bad content-length"))?
+            .unwrap_or(0);
+        if content_length > max_body {
+            return Err(bad(TOO_LARGE));
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        body
+    };
     Ok(Some(Request {
         method,
         path,
@@ -341,6 +383,54 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Req
         headers,
         body,
     }))
+}
+
+/// Decodes a `Transfer-Encoding: chunked` request body. The cumulative
+/// payload is capped at `max_body`; crossing the cap aborts the read with a
+/// [`TOO_LARGE`] error before the oversized chunk is buffered, so a hostile
+/// client cannot make the server allocate more than the cap.
+fn read_chunked_body(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> std::io::Result<Vec<u8>> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned());
+    let mut body = Vec::new();
+    loop {
+        let mut size_line = String::new();
+        if reader.read_line(&mut size_line)? == 0 {
+            return Err(bad("connection closed mid-chunk"));
+        }
+        let size_str = size_line
+            .trim_end_matches(['\r', '\n'])
+            .split(';')
+            .next()
+            .unwrap_or("")
+            .trim();
+        let size = usize::from_str_radix(size_str, 16).map_err(|_| bad("bad chunk size"))?;
+        if size == 0 {
+            // Trailer section: zero or more header lines, then a blank line.
+            loop {
+                let mut trailer = String::new();
+                if reader.read_line(&mut trailer)? == 0 {
+                    return Err(bad("connection closed mid-trailer"));
+                }
+                if trailer.trim_end_matches(['\r', '\n']).is_empty() {
+                    return Ok(body);
+                }
+            }
+        }
+        if body.len().saturating_add(size) > max_body {
+            return Err(bad(TOO_LARGE));
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader.read_exact(&mut body[start..])?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(bad("missing chunk terminator"));
+        }
+    }
 }
 
 fn write_simple(
@@ -500,6 +590,125 @@ mod tests {
         assert!(out.contains("Transfer-Encoding: chunked"), "got: {out}");
         assert!(out.contains("{\"a\":1}") && out.contains("{\"a\":2}"));
         assert!(out.trim_end().ends_with("0"), "chunked terminator: {out}");
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    fn start_cfg(
+        handler: Handler,
+        cfg: impl FnOnce(HttpServer) -> HttpServer,
+    ) -> (ServerHandle, SocketAddr, std::thread::JoinHandle<bool>) {
+        let server = cfg(HttpServer::bind("127.0.0.1:0", handler).unwrap());
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.serve(Duration::from_secs(5)));
+        (handle, addr, join)
+    }
+
+    fn echo_handler() -> Handler {
+        Arc::new(|req: &Request| {
+            HandlerResult::Text(200, String::from_utf8_lossy(&req.body).into_owned())
+        })
+    }
+
+    #[test]
+    fn chunked_request_body_is_decoded() {
+        let (handle, addr, join) = start(echo_handler());
+        let out = raw_roundtrip(
+            addr,
+            "POST /echo HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\
+             Connection: close\r\n\r\n5\r\nhello\r\n7;ext=1\r\n, world\r\n0\r\n\r\n",
+        );
+        assert!(out.contains("200 OK"), "got: {out}");
+        assert!(out.ends_with("hello, world"), "got: {out}");
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_chunked_body_gets_413() {
+        let (handle, addr, join) = start_cfg(echo_handler(), |s| s.with_max_body(16));
+        let payload = "x".repeat(64);
+        let out = raw_roundtrip(
+            addr,
+            &format!(
+                "POST /echo HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n\
+                 {:x}\r\n{payload}\r\n0\r\n\r\n",
+                payload.len()
+            ),
+        );
+        assert!(out.contains("413"), "got: {out}");
+        // The connection is closed after a 413 (the remaining body bytes
+        // would otherwise be parsed as a next request) — read_to_string in
+        // raw_roundtrip returning proves the close.
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_content_length_gets_413() {
+        let (handle, addr, join) = start_cfg(echo_handler(), |s| s.with_max_body(16));
+        let out = raw_roundtrip(
+            addr,
+            "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 1000000\r\n\r\n",
+        );
+        assert!(out.contains("413"), "got: {out}");
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn slow_header_client_times_out_without_wedging_accepts() {
+        let (handle, addr, join) = start_cfg(
+            Arc::new(|_: &Request| HandlerResult::Text(200, "ok".into())),
+            |s| s.with_timeouts(Duration::from_millis(300), Duration::from_secs(5)),
+        );
+        // A client that sends half a request line and then stalls.
+        let mut slow = TcpStream::connect(addr).unwrap();
+        slow.write_all(b"GET /slow HT").unwrap();
+        // While the slow client holds its connection open, a normal client
+        // must still be accepted and served (one thread per connection).
+        let out = raw_roundtrip(
+            addr,
+            "GET /fast HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
+        assert!(out.contains("200 OK"), "accept loop wedged: {out}");
+        // The slow connection is dropped once the read timeout fires:
+        // the server closes without sending a response.
+        slow.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = Vec::new();
+        let n = slow.read_to_end(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "expected silent close, got: {buf:?}");
+        // Server remains responsive afterwards.
+        let out = raw_roundtrip(
+            addr,
+            "GET /after HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
+        assert!(out.contains("200 OK"), "server dead after timeout: {out}");
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_reuse_across_mixed_methods() {
+        let (handle, addr, join) = start(Arc::new(|req: &Request| {
+            HandlerResult::Text(
+                200,
+                format!("{} {} [{}]", req.method, req.path, req.body.len()),
+            )
+        }));
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /a HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let text = read_response(&mut s);
+        assert!(text.ends_with("GET /a [0]"), "got: {text}");
+        s.write_all(b"POST /b HTTP/1.1\r\nHost: x\r\nContent-Length: 3\r\n\r\nxyz")
+            .unwrap();
+        let text = read_response(&mut s);
+        assert!(text.ends_with("POST /b [3]"), "got: {text}");
+        s.write_all(b"DELETE /c HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let text = read_response(&mut s);
+        assert!(text.ends_with("DELETE /c [0]"), "got: {text}");
         handle.stop();
         join.join().unwrap();
     }

@@ -128,6 +128,16 @@ impl Journal {
             ("error".into(), Value::Str(error.into())),
         ]);
     }
+
+    /// Marks a compacted journal head. Carries the highest job id ever
+    /// allocated so id allocation stays monotonic even when the records
+    /// of the highest jobs (e.g. coalesced ones) were compacted away.
+    pub fn compact_marker(&self, max_id: u64) {
+        self.record(vec![
+            ("event".into(), Value::Str("compact".into())),
+            ("max_id".into(), max_id.to_value()),
+        ]);
+    }
 }
 
 /// Outcome of one journaled job after replay.
@@ -203,6 +213,13 @@ fn apply(rec: &mut Recovery, v: &Value) -> Option<()> {
     if event == "coalesce" {
         return Some(());
     }
+    // Compaction marker: restores the id high-water mark recorded when
+    // the journal head was rewritten.
+    if event == "compact" {
+        let max = u64::from_value(map_get(m, "max_id").ok()?).ok()?;
+        rec.max_id = rec.max_id.max(max);
+        return Some(());
+    }
     let id = u64::from_value(map_get(m, "job").ok()?).ok()?;
     rec.max_id = rec.max_id.max(id);
     match event {
@@ -230,6 +247,75 @@ fn apply(rec: &mut Recovery, v: &Value) -> Option<()> {
         _ => return None,
     }
     Some(())
+}
+
+/// What [`compact`] did, for operator-facing reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Jobs surviving compaction (all of them — compaction drops
+    /// *records*, never jobs).
+    pub jobs: usize,
+    /// Jobs in a terminal state (done/failed): one submit + one outcome
+    /// record each after compaction.
+    pub terminal: usize,
+    /// Jobs still unfinished: submit record only (they re-queue on
+    /// replay, which is safe because the simulator is deterministic).
+    pub unfinished: usize,
+    /// Non-blank journal lines before / after the rewrite.
+    pub lines_before: u64,
+    pub lines_after: u64,
+    /// Unparseable lines dropped by the rewrite.
+    pub skipped: u64,
+}
+
+/// Rewrites the journal at `path`, keeping one `submit` record per job
+/// plus the terminal `done`/`fail` record where one exists. Intermediate
+/// `start` records, `coalesce` markers, corrupt lines, and all
+/// superseded history are dropped, so long-lived daemons stop replaying
+/// unbounded history on restart.
+///
+/// The rewrite goes to a temp file in the same directory and lands with
+/// an atomic rename, so a crash mid-compaction leaves the original
+/// journal untouched.
+pub fn compact(path: &Path) -> std::io::Result<CompactStats> {
+    let rec = recover(path)?;
+    let lines_before = match std::fs::read(path) {
+        Ok(bytes) => bytes
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.iter().all(u8::is_ascii_whitespace))
+            .count() as u64,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+        Err(e) => return Err(e),
+    };
+    let tmp = path.with_extension("compact-tmp");
+    let _ = std::fs::remove_file(&tmp);
+    let out = Journal::open(&tmp)?;
+    out.compact_marker(rec.max_id);
+    let mut terminal = 0usize;
+    for job in &rec.jobs {
+        out.submit(job.id, job.fingerprint, &job.spec);
+        match &job.outcome {
+            RecoveredOutcome::Done => {
+                out.done(job.id);
+                terminal += 1;
+            }
+            RecoveredOutcome::Failed(err) => {
+                out.fail(job.id, err);
+                terminal += 1;
+            }
+            RecoveredOutcome::Unfinished => {}
+        }
+    }
+    drop(out);
+    std::fs::rename(&tmp, path)?;
+    Ok(CompactStats {
+        jobs: rec.jobs.len(),
+        terminal,
+        unfinished: rec.jobs.len() - terminal,
+        lines_before,
+        lines_after: 1 + rec.jobs.len() as u64 + terminal as u64,
+        skipped: rec.skipped_lines,
+    })
 }
 
 #[cfg(test)]
@@ -355,6 +441,78 @@ mod tests {
         let rec = recover(&path).unwrap();
         assert!(rec.jobs.is_empty());
         assert_eq!(rec.skipped_lines, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_keeps_outcomes_and_id_high_water_mark() {
+        let path = tmp("compact.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        j.submit(1, 0xa, &spec(1));
+        j.start(1);
+        j.done(1);
+        j.submit(2, 0xb, &spec(2));
+        j.coalesce(2);
+        j.start(2);
+        j.fail(2, "boom");
+        j.submit(3, 0xc, &spec(3));
+        j.start(3);
+        // Job 9 exists only as an orphaned done record (its submit line
+        // was lost) — compaction drops it but must keep max_id = 9.
+        j.done(9);
+        drop(j);
+        let stats = compact(&path).unwrap();
+        assert_eq!(stats.jobs, 3);
+        assert_eq!(stats.terminal, 2);
+        assert_eq!(stats.unfinished, 1);
+        assert_eq!(stats.lines_before, 10);
+        assert_eq!(stats.lines_after, 6); // marker + 3 submits + 2 outcomes
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.skipped_lines, 0);
+        assert_eq!(rec.max_id, 9);
+        assert_eq!(rec.jobs.len(), 3);
+        assert_eq!(rec.jobs[0].outcome, RecoveredOutcome::Done);
+        assert_eq!(rec.jobs[1].outcome, RecoveredOutcome::Failed("boom".into()));
+        assert_eq!(rec.jobs[2].outcome, RecoveredOutcome::Unfinished);
+        assert_eq!(rec.jobs[0].fingerprint, 0xa);
+        // Compaction is idempotent.
+        let stats2 = compact(&path).unwrap();
+        assert_eq!(stats2.lines_after, stats.lines_after);
+        assert_eq!(stats2.lines_before, stats.lines_after);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_drops_corrupt_lines() {
+        let path = tmp("compact-corrupt.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        j.submit(1, 0x1, &spec(1));
+        j.done(1);
+        drop(j);
+        {
+            let mut f = std::fs::File::options().append(true).open(&path).unwrap();
+            f.write_all(b"{\"event\":\"done\",\"jo").unwrap();
+        }
+        let stats = compact(&path).unwrap();
+        assert_eq!(stats.skipped, 1);
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.skipped_lines, 0);
+        assert_eq!(rec.jobs.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compacting_a_missing_journal_fails_cleanly() {
+        // recover() treats missing as empty, but compaction of a path
+        // that never existed still writes an empty compacted journal.
+        let path = tmp("compact-missing.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let stats = compact(&path).unwrap();
+        assert_eq!(stats.jobs, 0);
+        assert_eq!(stats.lines_after, 1);
+        assert!(path.exists());
         let _ = std::fs::remove_file(&path);
     }
 

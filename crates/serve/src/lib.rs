@@ -39,6 +39,7 @@
 //! | `POST /v1/shutdown`       | graceful drain and exit                |
 
 pub mod client;
+pub mod cluster;
 pub mod http;
 pub mod job;
 pub mod journal;
@@ -46,6 +47,8 @@ pub mod observe;
 pub mod queue;
 pub mod server;
 
+pub use client::RetryPolicy;
+pub use cluster::{ClusterAgent, ClusterConfig};
 pub use job::{Job, JobSpec, JobState};
 pub use journal::{Journal, Recovery};
 pub use observe::{FlightRecorder, JobTiming, Outcome, ServeMetrics};

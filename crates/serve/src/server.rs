@@ -30,6 +30,7 @@ use esteem_stats::{
 use esteem_trace::{EventKind, TraceEvent, TraceFilter, Tracer};
 use serde::{Serialize, Value};
 
+use crate::cluster::{ClusterAgent, ClusterConfig};
 use crate::http::{Handler, HandlerResult, HttpCounters, HttpServer};
 use crate::job::{EventStream, Job, JobSpec, JobState};
 use crate::journal::{recover, Journal, RecoveredOutcome};
@@ -71,6 +72,9 @@ pub struct ServerOptions {
     /// Where to write a flight-recorder dump when a job panics
     /// (`None` disables the crash dump).
     pub flight_dump: Option<PathBuf>,
+    /// Join a cluster as a worker: register/heartbeat with this
+    /// coordinator (`None` = standalone daemon).
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServerOptions {
@@ -85,6 +89,7 @@ impl Default for ServerOptions {
             trace_events: 1 << 16,
             flight_recorder_jobs: 256,
             flight_dump: None,
+            cluster: None,
         }
     }
 }
@@ -170,6 +175,8 @@ struct State {
     flight: FlightRecorder,
     /// Crash-dump target when a job panics.
     flight_dump: Option<PathBuf>,
+    /// Cluster membership agent (workers only; filled in after bind).
+    cluster: Mutex<Option<Arc<ClusterAgent>>>,
 }
 
 impl State {
@@ -286,6 +293,17 @@ impl Daemon {
     /// when all connections drained within the timeout.
     pub fn wait(mut self) -> bool {
         self.state.wait_shutdown();
+        // Leave the cluster first: the coordinator stops routing new
+        // work here while we drain what we already accepted.
+        let agent = self
+            .state
+            .cluster
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if let Some(agent) = agent {
+            agent.stop_and_deregister();
+        }
         // No new pushes; scheduler drains the queue then exits.
         self.state.queue.close();
         // Unpause: a paused scheduler must still drain on shutdown.
@@ -341,6 +359,7 @@ pub fn spawn(opts: ServerOptions) -> std::io::Result<Daemon> {
         metrics: ServeMetrics::new(),
         flight: FlightRecorder::new(opts.flight_recorder_jobs),
         flight_dump: opts.flight_dump.clone(),
+        cluster: Mutex::new(None),
     });
     state.gate.set(opts.start_paused);
 
@@ -362,6 +381,12 @@ pub fn spawn(opts: ServerOptions) -> std::io::Result<Daemon> {
         .http_counters
         .lock()
         .unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&server.counters));
+    // The agent needs the bound address (ephemeral-port workers
+    // advertise it), so it starts only now.
+    if let Some(cfg) = opts.cluster.clone() {
+        *state.cluster.lock().unwrap_or_else(|e| e.into_inner()) =
+            Some(ClusterAgent::spawn(cfg, addr));
+    }
     let drain = opts.drain_timeout;
     let http = std::thread::Builder::new()
         .name("esteem-serve-http".into())
@@ -741,6 +766,14 @@ fn metrics_body(state: &State) -> String {
         s.counter("disk_evictions", cs.disk_evictions);
         s.gauge("mem_entries", cs.mem_entries as f64);
     });
+    let agent = state
+        .cluster
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    if let Some(agent) = agent {
+        r.register("cluster", &*agent);
+    }
     let hc = state
         .http_counters
         .lock()
@@ -883,7 +916,7 @@ fn status_body(state: &State) -> String {
             .map(|&o| (o.name().to_owned(), stage_value(&m.e2e_us(o))))
             .collect(),
     );
-    let body = Value::Map(vec![
+    let mut body = Value::Map(vec![
         ("version".into(), Value::Str(VERSION.into())),
         ("git".into(), Value::Str(GIT_HASH.into())),
         ("uptime_seconds".into(), Value::F64(m.uptime_seconds())),
@@ -908,6 +941,14 @@ fn status_body(state: &State) -> String {
             (state.flight.len() as u64).to_value(),
         ),
     ]);
+    let agent = state
+        .cluster
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    if let (Some(agent), Value::Map(m)) = (agent, &mut body) {
+        m.push(("cluster".into(), agent.status_value()));
+    }
     serde_json::to_string(&body).expect("serializes")
 }
 

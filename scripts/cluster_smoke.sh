@@ -1,0 +1,177 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the cluster fabric (DESIGN.md §17).
+#
+# Scenario: coordinator + 2 workers on ephemeral localhost ports; a
+# 48-cell sweep; one worker SIGKILLed mid-sweep. Asserts that
+#
+#   * the sweep still completes with zero failed cells,
+#   * the coordinator observed the node failure and re-dispatched work,
+#   * the merged sweep report is byte-identical to the same cells run
+#     single-node through `esteem-sim --json`,
+#   * a re-submitted cell is served from the surviving worker's run
+#     cache and counted in the coordinator's /metrics,
+#   * per-worker journals merge without done/failed conflicts,
+#   * the surviving worker deregisters gracefully on shutdown.
+#
+# Usage: scripts/cluster_smoke.sh [bin-dir]
+#   bin-dir   directory holding the release binaries
+#             (default: target/release)
+# Work files land in $CLUSTER_SMOKE_DIR (default: ./cluster-smoke).
+
+set -euo pipefail
+
+BIN=${1:-target/release}
+DIR=${CLUSTER_SMOKE_DIR:-cluster-smoke}
+INSTR=200000
+CELLS=48 # seeds 1..24 x techniques {baseline, esteem}
+
+for exe in esteem-coord esteem-serve esteem-client esteem-sim; do
+    if [ ! -x "$BIN/$exe" ]; then
+        echo "missing $BIN/$exe (build with: cargo build --release --bins)" >&2
+        exit 1
+    fi
+done
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+# Polls "$@" (a command) until it succeeds or ~20 s elapse.
+wait_for() {
+    local what=$1
+    shift
+    for _ in $(seq 1 100); do
+        if "$@" >/dev/null 2>&1; then return 0; fi
+        sleep 0.2
+    done
+    echo "timed out waiting for $what" >&2
+    return 1
+}
+
+# Extracts the ephemeral address from a daemon's stdout log.
+addr_of() {
+    sed -n 's/^listening on //p' "$1"
+}
+
+echo "== start coordinator + 2 workers (ephemeral ports)"
+"$BIN/esteem-coord" --addr 127.0.0.1:0 --heartbeat-timeout-ms 1000 \
+    --journal "$DIR/coord.jsonl" >"$DIR/coord.out" &
+PIDS+=($!)
+COORD_PID=$!
+wait_for "coordinator banner" grep -q "listening on " "$DIR/coord.out"
+COORD=$(addr_of "$DIR/coord.out")
+
+"$BIN/esteem-serve" --addr 127.0.0.1:0 --workers 2 --node-id w1 \
+    --coordinator "$COORD" --heartbeat-ms 200 \
+    --journal "$DIR/w1.jsonl" >"$DIR/w1.out" &
+PIDS+=($!)
+"$BIN/esteem-serve" --addr 127.0.0.1:0 --workers 2 --node-id w2 \
+    --coordinator "$COORD" --heartbeat-ms 200 \
+    --journal "$DIR/w2.jsonl" >"$DIR/w2.out" &
+PIDS+=($!)
+W2_PID=$!
+wait_for "worker banners" grep -q "listening on " "$DIR/w1.out"
+wait_for "worker banners" grep -q "listening on " "$DIR/w2.out"
+W1=$(addr_of "$DIR/w1.out")
+
+members() { "$BIN/esteem-client" "$COORD" get /v1/cluster; }
+wait_for "w1 to register" sh -c "'$BIN/esteem-client' '$COORD' get /v1/cluster | grep -q '\"w1\"'"
+wait_for "w2 to register" sh -c "'$BIN/esteem-client' '$COORD' get /v1/cluster | grep -q '\"w2\"'"
+echo "coordinator $COORD, workers registered:"
+members
+
+echo "== submit a $CELLS-cell sweep"
+"$BIN/esteem-client" "$COORD" sweep gamess --instructions "$INSTR" \
+    --grid "seed=$(seq -s, 1 24)" --grid technique=baseline,esteem |
+    tee "$DIR/sweep.out"
+SWEEP=$(sed -n 's/^sweep \([0-9]*\).*/\1/p' "$DIR/sweep.out")
+test -n "$SWEEP"
+
+# Prints cluster/<name> from the coordinator's /metrics as an integer
+# (gauges render as "3.0"; drop the fractional part).
+metric() {
+    "$BIN/esteem-client" "$COORD" metrics |
+        awk -v k="cluster/$1" '$1 == k { sub(/\..*$/, "", $2); print $2 }'
+}
+
+# Polls until cluster/<name> >= <want> (~30 s).
+wait_metric_ge() {
+    local name=$1 want=$2 v=
+    for _ in $(seq 1 150); do
+        v=$(metric "$name")
+        if [ -n "$v" ] && [ "$v" -ge "$want" ]; then return 0; fi
+        sleep 0.2
+    done
+    echo "timed out waiting for cluster/$name >= $want (last: ${v:-none})" >&2
+    return 1
+}
+
+echo "== SIGKILL w2 once a few cells have finished"
+wait_metric_ge jobs_done 3
+kill -9 "$W2_PID"
+echo "killed w2 (pid $W2_PID) at jobs_done=$(metric jobs_done)"
+
+echo "== sweep must still complete; stream the merged report"
+"$BIN/esteem-client" "$COORD" sweep-report "$SWEEP" --wait \
+    >"$DIR/via_cluster.json"
+
+FAILURES=$(metric node_failures)
+REDISPATCHED=$(metric jobs_redispatched)
+echo "node_failures=$FAILURES jobs_redispatched=$REDISPATCHED"
+[ "$FAILURES" -ge 1 ] || {
+    echo "coordinator never declared w2 dead" >&2
+    exit 1
+}
+[ "$REDISPATCHED" -ge 1 ] || {
+    echo "no jobs were re-dispatched off the dead worker" >&2
+    exit 1
+}
+[ "$(metric jobs_failed)" -eq 0 ] || {
+    echo "sweep had failed cells" >&2
+    exit 1
+}
+
+echo "== report must be byte-identical to single-node esteem-sim runs"
+: >"$DIR/via_cli.json"
+for seed in $(seq 1 24); do
+    for tech in baseline esteem; do
+        "$BIN/esteem-sim" --technique "$tech" --instructions "$INSTR" \
+            --seed "$seed" --json gamess >>"$DIR/via_cli.json"
+    done
+done
+diff "$DIR/via_cluster.json" "$DIR/via_cli.json"
+echo "byte-identical across $CELLS cells"
+
+echo "== a re-submitted cell is served from the worker's run cache"
+for _ in 1 2; do
+    "$BIN/esteem-client" "$COORD" submit --instructions "$INSTR" \
+        --technique esteem --seed 1 gamess | tee "$DIR/resubmit.out"
+    JOB=$(sed -n 's/^job \([0-9]*\).*/\1/p' "$DIR/resubmit.out")
+    "$BIN/esteem-client" "$COORD" fetch "$JOB" >/dev/null
+done
+CACHED=$(metric jobs_cached_on_worker)
+echo "jobs_cached_on_worker=$CACHED"
+[ "$CACHED" -ge 1 ] || {
+    echo "re-submitted cell missed the worker run cache" >&2
+    exit 1
+}
+
+echo "== per-worker journals merge without conflicts"
+"$BIN/esteem-coord" merge w1="$DIR/w1.jsonl" w2="$DIR/w2.jsonl" \
+    >"$DIR/merged-journal.json"
+grep -q '"conflicts": \[\]' "$DIR/merged-journal.json"
+
+echo "== graceful drain: w1 deregisters, coordinator exits"
+"$BIN/esteem-client" "$W1" shutdown
+wait_metric_ge deregistrations 1
+"$BIN/esteem-client" "$COORD" shutdown
+wait_for "coordinator exit" sh -c "! kill -0 $COORD_PID 2>/dev/null"
+
+echo "cluster smoke: OK"

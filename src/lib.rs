@@ -25,6 +25,10 @@
 //! * [`serve`] — the `esteem-serve` job daemon (HTTP API, bounded
 //!   priority queue, run-cache dedupe, crash-safe journal) and its
 //!   client library;
+//! * [`cluster`] — the `esteem-coord` coordinator: shards sweeps across
+//!   N `esteem-serve` workers by run-cache fingerprint over a
+//!   consistent-hash ring, steals work from stragglers, re-dispatches
+//!   off dead nodes, and merges per-node journals;
 //! * [`check`] — the differential oracle checker (`esteem-check`): a
 //!   naive reference model fuzzed in lockstep against the optimized
 //!   cache/refresh stack, with case minimization and reproducer replay.
@@ -46,6 +50,7 @@
 
 pub use esteem_cache as cache;
 pub use esteem_check as check;
+pub use esteem_cluster as cluster;
 pub use esteem_core as core;
 pub use esteem_edram as edram;
 pub use esteem_energy as energy;
