@@ -640,9 +640,15 @@ impl Cluster {
                 // The worker answered but rejected (429 shed / 503
                 // draining): requeue and let the ring (possibly minus
                 // this node, if it is shutting down) take it again.
+                // A shed carries the worker's Retry-After hint; honor
+                // it (bounded) so a saturated worker is not re-offered
+                // the job faster than its queue drains.
+                let wait = client::retry_after_ms_from_error(&e)
+                    .map(|ms| Duration::from_millis(ms.min(10_000)))
+                    .unwrap_or(self.opts.poll_interval)
+                    .max(self.opts.poll_interval);
                 self.release(node, id, token);
-                std::thread::sleep(self.opts.poll_interval);
-                let _ = e;
+                std::thread::sleep(wait);
                 return;
             }
             Err(_) => {

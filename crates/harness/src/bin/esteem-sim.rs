@@ -12,6 +12,9 @@
 //!   --ecc-periods <k> --ecc-bits <b>     (ecc technique)
 //!   --ways <n>                fixed way count (static technique, default 4)
 //!   --seed <n>
+//!   --warmup <cycles>         warm-up cycles excluded from metrics
+//!                             (default 35M, the paper stand-in; small
+//!                             values make smoke runs cheap)
 //!   --threads <n>             worker threads for the front-end refill
 //!                             (default: ESTEEM_THREADS, else 1; reports
 //!                             are byte-identical at any thread count)
@@ -51,6 +54,7 @@ struct Args {
     ecc_bits: u8,
     ways: u8,
     seed: u64,
+    warmup: Option<u64>,
     threads: usize,
     json: bool,
     interval_log: Option<String>,
@@ -76,6 +80,7 @@ impl Default for Args {
             ecc_bits: 1,
             ways: 4,
             seed: 1,
+            warmup: None,
             threads: 0,
             json: false,
             interval_log: None,
@@ -148,6 +153,13 @@ fn parse() -> Result<Args, String> {
                 a.seed = next(&mut it, "--seed")?
                     .parse()
                     .map_err(|e| format!("{e}"))?
+            }
+            "--warmup" => {
+                a.warmup = Some(
+                    next(&mut it, "--warmup")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
             }
             "--threads" => {
                 a.threads = next(&mut it, "--threads")?
@@ -271,6 +283,9 @@ fn main() -> ExitCode {
     };
     cfg.sim_instructions = args.instructions;
     cfg.seed = args.seed;
+    if let Some(w) = args.warmup {
+        cfg.warmup_cycles = w;
+    }
     // Reject impossible configurations with a one-line error instead of
     // letting a validation assert unwind with a backtrace.
     if let Err(e) = cfg.check() {

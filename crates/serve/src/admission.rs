@@ -1,0 +1,430 @@
+//! Admission control for the submit path: per-client token buckets and
+//! latency-aware (SLO) shedding.
+//!
+//! The fixed-cap 429 in [`JobQueue`](crate::queue::JobQueue) only fires
+//! once the queue is already full — by then every accepted job is
+//! waiting behind the backlog and the SLO is long gone. This module
+//! moves the shed decision to the front door:
+//!
+//! * **Token buckets** ([`AdmissionOptions::rate_per_sec`]) bound each
+//!   client's *submit rate* independently, so one flooding client is
+//!   throttled while well-behaved ones sail through. Buckets refill
+//!   lazily (integer-microsecond arithmetic, no background thread) and
+//!   the bucket map is bounded like `MAX_CLIENT_LABELS` in `observe.rs`:
+//!   past [`MAX_BUCKETS`] the least-recently-used buckets are evicted.
+//! * **SLO shedding** ([`AdmissionOptions::slo_ms`]) watches queue-wait
+//!   p95 over a [`SlidingWindow`] of the PR 7 stage histogram. When the
+//!   windowed p95 exceeds the target the daemon sheds *before*
+//!   enqueueing; once the hot slots rotate out of the window the signal
+//!   recovers and admission resumes — engagement is self-clearing, no
+//!   operator reset.
+//!
+//! Every shed carries a retry hint ([`Shed::retry_after_ms`]): the time
+//! to the next token for rate sheds, the windowed queue-wait p50 for
+//! SLO sheds. The HTTP layer surfaces it as `Retry-After` /
+//! `retry-after-ms` headers and [`RetryPolicy`](crate::client::RetryPolicy)
+//! honors it, so closed-loop clients back off instead of hammering a
+//! saturated daemon.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use esteem_stats::{Histogram, SlidingWindow};
+
+/// Distinct per-client token buckets kept live; beyond this the
+/// least-recently-used buckets are evicted (a returning client starts
+/// with a full burst again — bounded memory wins over perfect history).
+pub const MAX_BUCKETS: usize = 4096;
+
+/// Ceiling on emitted retry hints: a saturated daemon should invite
+/// retries within tens of seconds, not park clients for minutes.
+const MAX_RETRY_AFTER_MS: u64 = 30_000;
+
+/// Knobs for [`AdmissionControl`]; `..Default::default()` disables both
+/// mechanisms (the daemon then sheds only on queue-full, as before).
+#[derive(Debug, Clone)]
+pub struct AdmissionOptions {
+    /// Sustained per-client submit rate (tokens/sec); `None` disables
+    /// rate limiting.
+    pub rate_per_sec: Option<f64>,
+    /// Bucket depth: short bursts up to this many submits are admitted
+    /// at full speed before the sustained rate applies.
+    pub burst: f64,
+    /// Queue-wait p95 target; shed while the windowed p95 exceeds it.
+    /// `None` disables SLO shedding.
+    pub slo_ms: Option<u64>,
+    /// Sliding-window slot duration.
+    pub window_slot_ms: u64,
+    /// Slots in the window (window span = slots × slot duration).
+    pub window_slots: usize,
+    /// Minimum queue-wait samples in the window before SLO shedding may
+    /// engage (a cold daemon never sheds on noise).
+    pub min_window_samples: u64,
+}
+
+impl Default for AdmissionOptions {
+    fn default() -> Self {
+        Self {
+            rate_per_sec: None,
+            burst: 10.0,
+            slo_ms: None,
+            window_slot_ms: 500,
+            window_slots: 4,
+            min_window_samples: 8,
+        }
+    }
+}
+
+impl AdmissionOptions {
+    /// True when either mechanism is configured.
+    pub fn enabled(&self) -> bool {
+        self.rate_per_sec.is_some() || self.slo_ms.is_some()
+    }
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The client's token bucket is empty.
+    RateLimited,
+    /// Windowed queue-wait p95 exceeds the SLO target.
+    SloBreached,
+}
+
+impl ShedReason {
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::RateLimited => "rate_limited",
+            ShedReason::SloBreached => "slo_breached",
+        }
+    }
+}
+
+/// A refusal plus the server's retry hint.
+#[derive(Debug, Clone, Copy)]
+pub struct Shed {
+    pub reason: ShedReason,
+    pub retry_after_ms: u64,
+}
+
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    last_refill_us: u64,
+    last_access_us: u64,
+}
+
+#[derive(Debug)]
+struct WindowState {
+    window: SlidingWindow,
+    last_rotate_us: u64,
+    /// Last SLO decision (introspection only).
+    engaged: bool,
+}
+
+/// The live SLO signal, for `/v1/status`.
+#[derive(Debug, Clone, Copy)]
+pub struct SloSignal {
+    pub window_p95_us: u64,
+    pub window_samples: u64,
+    pub engaged: bool,
+}
+
+/// See the module docs. One instance lives in the server state; both
+/// checks run under short internal locks on the submit path.
+#[derive(Debug)]
+pub struct AdmissionControl {
+    opts: AdmissionOptions,
+    buckets: Mutex<HashMap<String, Bucket>>,
+    window: Mutex<WindowState>,
+}
+
+impl AdmissionControl {
+    pub fn new(opts: AdmissionOptions) -> Self {
+        let window = WindowState {
+            window: SlidingWindow::new(opts.window_slots),
+            last_rotate_us: 0,
+            engaged: false,
+        };
+        Self {
+            opts,
+            buckets: Mutex::new(HashMap::new()),
+            window: Mutex::new(window),
+        }
+    }
+
+    pub fn options(&self) -> &AdmissionOptions {
+        &self.opts
+    }
+
+    /// The front-door decision: SLO first (overload sheds everyone and
+    /// consumes no tokens), then the client's bucket. `now_us` is the
+    /// daemon's monotone clock (`ServeMetrics::now_us`); `queue_wait`
+    /// is the cumulative queue-wait stage histogram.
+    pub fn admit(&self, client: &str, now_us: u64, queue_wait: &Histogram) -> Result<(), Shed> {
+        if let Some(slo_ms) = self.opts.slo_ms {
+            if let Some(shed) = self.check_slo(slo_ms, now_us, queue_wait) {
+                return Err(shed);
+            }
+        }
+        if let Some(rate) = self.opts.rate_per_sec {
+            if let Some(shed) = self.take_token(client, rate, now_us) {
+                return Err(shed);
+            }
+        }
+        Ok(())
+    }
+
+    fn check_slo(&self, slo_ms: u64, now_us: u64, queue_wait: &Histogram) -> Option<Shed> {
+        let mut w = self.window.lock().unwrap_or_else(|e| e.into_inner());
+        let snap = queue_wait.snapshot();
+        // Decide against the window as it stood *before* this call's
+        // rotation: samples recorded since the last boundary must be
+        // visible even if a rotation is due right now.
+        let delta = w.window.delta(&snap);
+        let breached = delta.count() >= self.opts.min_window_samples
+            && delta.quantile(0.95) > slo_ms.saturating_mul(1000);
+        w.engaged = breached;
+        // Age the window regardless of the decision (shedding must not
+        // freeze the signal), one rotation per elapsed slot boundary;
+        // idle gaps age the whole window in one go, so a flood that
+        // ended long ago cannot keep the daemon shedding.
+        let slot_us = self.opts.window_slot_ms.max(1).saturating_mul(1000);
+        let due = now_us.saturating_sub(w.last_rotate_us) / slot_us;
+        if due > 0 {
+            for _ in 0..due.min(self.opts.window_slots as u64 + 1) {
+                w.window.rotate(snap.clone());
+            }
+            w.last_rotate_us += due * slot_us;
+        }
+        if !breached {
+            return None;
+        }
+        // Invite a retry once roughly half the current backlog has
+        // drained: the windowed queue-wait p50.
+        let p50_ms = (delta.quantile(0.5) / 1000).clamp(1, MAX_RETRY_AFTER_MS);
+        Some(Shed {
+            reason: ShedReason::SloBreached,
+            retry_after_ms: p50_ms,
+        })
+    }
+
+    fn take_token(&self, client: &str, rate: f64, now_us: u64) -> Option<Shed> {
+        let rate = rate.max(f64::MIN_POSITIVE);
+        let burst = self.opts.burst.max(1.0);
+        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        if !buckets.contains_key(client) && buckets.len() >= MAX_BUCKETS {
+            Self::evict_lru(&mut buckets);
+        }
+        let b = buckets.entry(client.to_owned()).or_insert(Bucket {
+            tokens: burst,
+            last_refill_us: now_us,
+            last_access_us: now_us,
+        });
+        let elapsed_us = now_us.saturating_sub(b.last_refill_us);
+        b.tokens = (b.tokens + elapsed_us as f64 * 1e-6 * rate).min(burst);
+        b.last_refill_us = now_us;
+        b.last_access_us = now_us;
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            return None;
+        }
+        let wait_ms = ((1.0 - b.tokens) / rate * 1000.0).ceil() as u64;
+        Some(Shed {
+            reason: ShedReason::RateLimited,
+            retry_after_ms: wait_ms.clamp(1, MAX_RETRY_AFTER_MS),
+        })
+    }
+
+    /// Drops the least-recently-used half of the bucket map (amortizes
+    /// the O(n) scan the same way the queue's served-map eviction does).
+    fn evict_lru(buckets: &mut HashMap<String, Bucket>) {
+        let mut by_access: Vec<(u64, String)> = buckets
+            .iter()
+            .map(|(client, b)| (b.last_access_us, client.clone()))
+            .collect();
+        by_access.sort_unstable();
+        for (_, client) in by_access.into_iter().take(buckets.len() - MAX_BUCKETS / 2) {
+            buckets.remove(&client);
+        }
+    }
+
+    /// Current SLO-signal reading without admitting anything (for
+    /// `/v1/status`). Does not rotate the window.
+    pub fn slo_signal(&self, queue_wait: &Histogram) -> Option<SloSignal> {
+        self.opts.slo_ms?;
+        let w = self.window.lock().unwrap_or_else(|e| e.into_inner());
+        let delta = w.window.delta(&queue_wait.snapshot());
+        Some(SloSignal {
+            window_p95_us: delta.quantile(0.95),
+            window_samples: delta.count(),
+            engaged: w.engaged,
+        })
+    }
+
+    /// Live token buckets (introspection).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rate_opts(rate: f64, burst: f64) -> AdmissionOptions {
+        AdmissionOptions {
+            rate_per_sec: Some(rate),
+            burst,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn token_bucket_is_per_client() {
+        let ac = AdmissionControl::new(rate_opts(1.0, 2.0));
+        let h = Histogram::new();
+        // Client a burns its burst of 2; the third submit sheds.
+        assert!(ac.admit("a", 1_000, &h).is_ok());
+        assert!(ac.admit("a", 1_001, &h).is_ok());
+        let shed = ac.admit("a", 1_002, &h).unwrap_err();
+        assert_eq!(shed.reason, ShedReason::RateLimited);
+        assert!(shed.retry_after_ms >= 1);
+        // Client b is untouched by a's exhaustion.
+        assert!(ac.admit("b", 1_003, &h).is_ok());
+    }
+
+    #[test]
+    fn bucket_refills_at_rate() {
+        let ac = AdmissionControl::new(rate_opts(10.0, 1.0));
+        let h = Histogram::new();
+        assert!(ac.admit("a", 0, &h).is_ok());
+        assert!(ac.admit("a", 1_000, &h).is_err(), "1ms < 100ms/token");
+        // ~100ms at 10 tokens/sec refills one token (1ms slack for
+        // float rounding in the refill product).
+        assert!(ac.admit("a", 102_000, &h).is_ok());
+        assert!(ac.admit("a", 103_000, &h).is_err());
+    }
+
+    #[test]
+    fn rate_shed_hints_time_to_next_token() {
+        let ac = AdmissionControl::new(rate_opts(10.0, 1.0));
+        let h = Histogram::new();
+        assert!(ac.admit("a", 0, &h).is_ok());
+        let shed = ac.admit("a", 0, &h).unwrap_err();
+        // Empty bucket at 10/s: next token in ~100ms.
+        assert!(
+            (90..=110).contains(&shed.retry_after_ms),
+            "hint {}ms",
+            shed.retry_after_ms
+        );
+    }
+
+    #[test]
+    fn bucket_map_is_bounded() {
+        let ac = AdmissionControl::new(rate_opts(1.0, 1.0));
+        let h = Histogram::new();
+        for i in 0..MAX_BUCKETS + 100 {
+            let _ = ac.admit(&format!("client-{i}"), i as u64, &h);
+        }
+        assert!(ac.bucket_count() <= MAX_BUCKETS);
+    }
+
+    fn slo_opts(slo_ms: u64) -> AdmissionOptions {
+        AdmissionOptions {
+            slo_ms: Some(slo_ms),
+            window_slot_ms: 100,
+            window_slots: 2,
+            min_window_samples: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn slo_shedding_engages_and_disengages() {
+        let ac = AdmissionControl::new(slo_opts(50));
+        let h = Histogram::new();
+        let mut now = 0u64;
+        assert!(ac.admit("a", now, &h).is_ok(), "cold daemon admits");
+        // A flood: queue waits far beyond the 50ms SLO.
+        for _ in 0..20 {
+            h.record(400_000);
+        }
+        now += 100_000; // one slot later the window sees the flood
+        let shed = ac.admit("a", now, &h).unwrap_err();
+        assert_eq!(shed.reason, ShedReason::SloBreached);
+        assert!(shed.retry_after_ms >= 100, "p50-derived hint");
+        // The engaged flag reflects the shed decision; the freshly
+        // rotated window may already exclude the flood from its delta.
+        assert!(ac.slo_signal(&h).unwrap().engaged);
+        // The flood stops; two slot intervals later the hot boundary
+        // has rotated out and admission resumes.
+        now += 300_000;
+        assert!(ac.admit("a", now, &h).is_ok(), "signal self-clears");
+        assert!(!ac.slo_signal(&h).unwrap().engaged);
+    }
+
+    /// The overload e2e shape in miniature: a backlog that *builds
+    /// gradually* while admits keep arriving must start shedding once
+    /// windowed pops cross the SLO — not only after a step-function
+    /// flood like the test above.
+    #[test]
+    fn slo_catches_a_slowly_building_backlog() {
+        let ac = AdmissionControl::new(AdmissionOptions {
+            slo_ms: Some(1_150),
+            window_slot_ms: 230,
+            window_slots: 4,
+            min_window_samples: 1,
+            ..Default::default()
+        });
+        let h = Histogram::new();
+        let mut shed = 0u64;
+        let mut first_shed_at = None;
+        let mut next_pop = 0u64;
+        // 18 s: admits every 140 ms; pops every 160 ms with queue wait
+        // growing linearly to ~2.6 s (crosses the 1.15 s SLO at ~8 s).
+        for now in (0..18_000_000u64).step_by(140_000) {
+            while next_pop <= now {
+                h.record(next_pop / 7);
+                next_pop += 160_000;
+            }
+            if ac.admit("a", now, &h).is_err() {
+                shed += 1;
+                first_shed_at.get_or_insert(now);
+            }
+        }
+        assert!(
+            shed > 0,
+            "a backlog past the SLO must shed (windowed p95 at end: {:?})",
+            ac.slo_signal(&h)
+        );
+        let at = first_shed_at.unwrap();
+        assert!(
+            (7_000_000..12_000_000).contains(&at),
+            "shedding should engage shortly after the SLO crossing, got {at}us"
+        );
+    }
+
+    #[test]
+    fn slo_needs_minimum_samples() {
+        let ac = AdmissionControl::new(slo_opts(50));
+        let h = Histogram::new();
+        for _ in 0..3 {
+            h.record(400_000); // 3 < min_window_samples = 4
+        }
+        assert!(ac.admit("a", 100_000, &h).is_ok());
+    }
+
+    #[test]
+    fn disabled_options_admit_everything() {
+        let ac = AdmissionControl::new(AdmissionOptions::default());
+        assert!(!ac.options().enabled());
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(10_000_000);
+        }
+        for i in 0..1000u64 {
+            assert!(ac.admit("a", i, &h).is_ok());
+        }
+    }
+}

@@ -25,7 +25,7 @@
 //! job-options mirror esteem-sim flags:
 //!   --technique t --retention us --instructions n --alpha f --a-min n
 //!   --modules m --interval cycles --rs n --ecc-periods k --ecc-bits b
-//!   --ways n --seed n --priority p --client name
+//!   --ways n --seed n --warmup cycles --priority p --client name
 //! ```
 
 use std::process::ExitCode;
@@ -74,6 +74,12 @@ fn parse_spec(args: &[String]) -> Result<JobSpec, String> {
             "--ecc-bits" => parse_into!(spec.ecc_bits, &mut it, "--ecc-bits"),
             "--ways" => parse_into!(spec.ways, &mut it, "--ways"),
             "--seed" => parse_into!(spec.seed, &mut it, "--seed"),
+            "--warmup" => {
+                let w = next(&mut it, "--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?;
+                spec.warmup = Some(w);
+            }
             "--priority" => parse_into!(spec.priority, &mut it, "--priority"),
             "--client" => spec.client = next(&mut it, "--client")?,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),

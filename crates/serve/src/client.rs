@@ -19,6 +19,9 @@ use crate::job::JobSpec;
 /// while a simulation runs.
 pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(300);
 
+/// A fully decoded response: status, lowercased headers, body.
+pub type FullResponse = (u16, Vec<(String, String)>, String);
+
 /// Jittered exponential backoff schedule for transport-level retries
 /// (connect refused, timeouts, connections dropped mid-response).
 ///
@@ -180,6 +183,43 @@ pub fn request(
     body: Option<&str>,
 ) -> Result<(u16, String), String> {
     request_once(addr, method, path, body, DEFAULT_READ_TIMEOUT)
+        .map(|(status, _, body)| (status, body))
+}
+
+/// [`request`] that also returns the (lowercased) response headers —
+/// the shed path's `Retry-After`/`retry-after-ms` hints live there.
+pub fn request_full(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    read_timeout: Duration,
+) -> Result<FullResponse, String> {
+    request_once(addr, method, path, body, read_timeout)
+}
+
+/// The server's retry hint from response headers, in milliseconds:
+/// `retry-after-ms` (precise) wins over integer-seconds `Retry-After`.
+pub fn retry_after_ms(headers: &[(String, String)]) -> Option<u64> {
+    let get = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if let Some(ms) = get("retry-after-ms").and_then(|v| v.parse::<u64>().ok()) {
+        return Some(ms);
+    }
+    get("retry-after")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(|secs| secs.saturating_mul(1000))
+}
+
+/// Recovers the retry hint a failed [`submit_with`] embedded in its
+/// error string (the coordinator's shed-backoff path).
+pub fn retry_after_ms_from_error(err: &str) -> Option<u64> {
+    let rest = err.split("(retry after ").nth(1)?;
+    rest.split("ms)").next()?.trim().parse().ok()
 }
 
 /// [`request`] with a retry policy: transport errors (connect refused,
@@ -196,7 +236,7 @@ pub fn request_with(
     let mut attempt = 0u32;
     loop {
         match request_once(addr, method, path, body, read_timeout) {
-            Ok(resp) => return Ok(resp),
+            Ok((status, _, body)) => return Ok((status, body)),
             Err(e) if attempt < policy.retries => {
                 std::thread::sleep(Duration::from_millis(policy.delay_ms(attempt)));
                 attempt += 1;
@@ -219,7 +259,7 @@ fn request_once(
     path: &str,
     body: Option<&str>,
     read_timeout: Duration,
-) -> Result<(u16, String), String> {
+) -> Result<FullResponse, String> {
     let mut stream = connect_with(addr, read_timeout)?;
     send_request(&mut stream, method, path, body)?;
     let mut reader = BufReader::new(stream);
@@ -241,7 +281,7 @@ fn request_once(
             let _ = reader.read_to_string(&mut out);
             out
         };
-    Ok((head.status, body))
+    Ok((head.status, head.headers, body))
 }
 
 /// Decodes a chunked body, invoking `sink` once per chunk payload.
@@ -315,8 +355,21 @@ pub fn submit(addr: &str, spec: &JobSpec) -> Result<SubmitResponse, String> {
     submit_with(addr, spec, &RetryPolicy::none(), DEFAULT_READ_TIMEOUT)
 }
 
+/// Ceiling on honored `Retry-After` hints (a buggy or hostile server
+/// must not park a client for minutes).
+const MAX_HONORED_RETRY_AFTER_MS: u64 = 60_000;
+
 /// [`submit`] with retries: safe because identical re-submissions
 /// coalesce onto the in-flight job or hit the run cache.
+///
+/// Transport errors back off per `policy` as before. A 429 shed is
+/// *also* retried within the policy budget, sleeping the server's
+/// `Retry-After`/`retry-after-ms` hint when present (the daemon derives
+/// it from queue-wait percentiles) instead of the blind exponential —
+/// so a closed-loop client paces itself to the saturated daemon rather
+/// than hammering it. If retries run out, the hint is embedded in the
+/// error (`... (retry after Nms)`) for callers that manage their own
+/// requeue, e.g. the cluster coordinator.
 pub fn submit_with(
     addr: &str,
     spec: &JobSpec,
@@ -324,20 +377,52 @@ pub fn submit_with(
     read_timeout: Duration,
 ) -> Result<SubmitResponse, String> {
     let body = serde_json::to_string(spec).map_err(|e| format!("encoding spec: {e}"))?;
-    let (status, resp) = request_with(addr, "POST", "/v1/jobs", Some(&body), policy, read_timeout)?;
-    if status != 202 {
-        return Err(format!("submit failed ({status}): {resp}"));
+    let mut attempt = 0u32;
+    loop {
+        match request_once(addr, "POST", "/v1/jobs", Some(&body), read_timeout) {
+            Ok((202, _, resp)) => {
+                let v: Value =
+                    serde_json::from_str(&resp).map_err(|e| format!("bad response: {e}"))?;
+                let m = v.as_map().ok_or("response is not an object")?;
+                let job = u64::from_value(map_get(m, "job").map_err(|e| e.to_string())?)
+                    .map_err(|e| e.to_string())?;
+                let flag = |k: &str| matches!(map_get(m, k), Ok(Value::Bool(true)));
+                return Ok(SubmitResponse {
+                    job,
+                    coalesced: flag("coalesced"),
+                    cached: flag("cached"),
+                });
+            }
+            Ok((429, headers, resp)) => {
+                let hint = retry_after_ms(&headers);
+                if attempt < policy.retries {
+                    let delay = hint
+                        .map(|ms| ms.clamp(1, MAX_HONORED_RETRY_AFTER_MS))
+                        .unwrap_or_else(|| policy.delay_ms(attempt));
+                    std::thread::sleep(Duration::from_millis(delay));
+                    attempt += 1;
+                    continue;
+                }
+                let suffix = hint
+                    .map(|ms| format!(" (retry after {ms}ms)"))
+                    .unwrap_or_default();
+                return Err(format!("submit failed (429): {resp}{suffix}"));
+            }
+            Ok((status, _, resp)) => return Err(format!("submit failed ({status}): {resp}")),
+            Err(e) if attempt < policy.retries => {
+                std::thread::sleep(Duration::from_millis(policy.delay_ms(attempt)));
+                attempt += 1;
+                let _ = e;
+            }
+            Err(e) => {
+                return Err(if attempt > 0 {
+                    format!("{e} (after {attempt} retries)")
+                } else {
+                    e
+                })
+            }
+        }
     }
-    let v: Value = serde_json::from_str(&resp).map_err(|e| format!("bad response: {e}"))?;
-    let m = v.as_map().ok_or("response is not an object")?;
-    let job = u64::from_value(map_get(m, "job").map_err(|e| e.to_string())?)
-        .map_err(|e| e.to_string())?;
-    let flag = |k: &str| matches!(map_get(m, k), Ok(Value::Bool(true)));
-    Ok(SubmitResponse {
-        job,
-        coalesced: flag("coalesced"),
-        cached: flag("cached"),
-    })
 }
 
 /// `GET /v1/jobs/{id}` parsed into `(state, full response value)`.
@@ -492,6 +577,112 @@ mod tests {
         )
         .unwrap();
         assert_eq!((status, body.as_str()), (200, "ok"));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn retry_after_ms_prefers_precise_header() {
+        let headers = vec![
+            ("retry-after".to_string(), "2".to_string()),
+            ("retry-after-ms".to_string(), "1500".to_string()),
+        ];
+        assert_eq!(retry_after_ms(&headers), Some(1500));
+        // Seconds-only header falls back to ms conversion.
+        let secs_only = vec![("retry-after".to_string(), "3".to_string())];
+        assert_eq!(retry_after_ms(&secs_only), Some(3000));
+        assert_eq!(retry_after_ms(&[]), None);
+    }
+
+    #[test]
+    fn retry_after_marker_round_trips_through_error_strings() {
+        let err = "submit failed (429): {\"error\":\"queue full\"} (retry after 250ms)";
+        assert_eq!(retry_after_ms_from_error(err), Some(250));
+        assert_eq!(retry_after_ms_from_error("submit failed (429): shed"), None);
+        assert_eq!(retry_after_ms_from_error("ok"), None);
+    }
+
+    #[test]
+    fn submit_honors_retry_after_on_429_then_succeeds() {
+        use std::io::Write as _;
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // First request: shed with a tiny Retry-After hint.
+            let (mut s, _) = listener.accept().unwrap();
+            let mut drain = [0u8; 4096];
+            let _ = std::io::Read::read(&mut s, &mut drain);
+            let body = "{\"error\":\"queue full\"}";
+            s.write_all(
+                format!(
+                    "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\n\
+                     Retry-After: 1\r\nretry-after-ms: 5\r\nContent-Length: {}\r\n\
+                     Connection: close\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+            // Retried request: accept the job.
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = std::io::Read::read(&mut s, &mut drain);
+            let body = "{\"job\":7,\"coalesced\":false,\"cached\":false}";
+            s.write_all(
+                format!(
+                    "HTTP/1.1 202 Accepted\r\nContent-Type: application/json\r\n\
+                     Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        });
+        let start = std::time::Instant::now();
+        let resp = submit_with(
+            &addr,
+            &JobSpec::default(),
+            &RetryPolicy::new(2, 60_000), // blind backoff would sleep 60s
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resp.job, 7);
+        // Honoring the 5ms hint keeps the retry far under the blind
+        // 60s backoff envelope.
+        assert!(start.elapsed() < Duration::from_secs(5));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn exhausted_429_retries_embed_the_hint_in_the_error() {
+        use std::io::Write as _;
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut drain = [0u8; 4096];
+            let _ = std::io::Read::read(&mut s, &mut drain);
+            let body = "{\"error\":\"queue full\"}";
+            s.write_all(
+                format!(
+                    "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\n\
+                     retry-after-ms: 750\r\nContent-Length: {}\r\n\
+                     Connection: close\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        });
+        let err = submit_with(
+            &addr,
+            &JobSpec::default(),
+            &RetryPolicy::none(),
+            Duration::from_secs(5),
+        )
+        .unwrap_err();
+        assert!(err.contains("submit failed (429)"), "got: {err}");
+        assert_eq!(retry_after_ms_from_error(&err), Some(750));
         server.join().unwrap();
     }
 

@@ -55,6 +55,10 @@ impl Request {
 pub enum HandlerResult {
     /// `application/json` body.
     Json(u16, String),
+    /// `application/json` body plus extra response headers (the shed
+    /// path's `Retry-After`/`retry-after-ms`). Header names must be
+    /// valid HTTP tokens; values must be single-line.
+    JsonHeaders(u16, String, Vec<(String, String)>),
     /// `text/plain` body.
     Text(u16, String),
     /// Body with an explicit `Content-Type` (e.g. the Prometheus
@@ -280,6 +284,7 @@ fn serve_connection(
         let result = handler(&req);
         let status = match &result {
             HandlerResult::Json(s, _)
+            | HandlerResult::JsonHeaders(s, _, _)
             | HandlerResult::Text(s, _)
             | HandlerResult::Typed(s, _, _)
             | HandlerResult::Stream(s, _) => *s,
@@ -292,6 +297,16 @@ fn serve_connection(
         match result {
             HandlerResult::Json(status, body) => {
                 write_simple(&mut writer, status, "application/json", body, keep_alive)?;
+            }
+            HandlerResult::JsonHeaders(status, body, extra) => {
+                write_with_headers(
+                    &mut writer,
+                    status,
+                    "application/json",
+                    body,
+                    keep_alive,
+                    &extra,
+                )?;
             }
             HandlerResult::Text(status, body) => {
                 write_simple(&mut writer, status, "text/plain", body, keep_alive)?;
@@ -440,12 +455,30 @@ fn write_simple(
     body: String,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_with_headers(w, status, content_type, body, keep_alive, &[])
+}
+
+fn write_with_headers(
+    w: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: String,
+    keep_alive: bool,
+    extra: &[(String, String)],
+) -> std::io::Result<()> {
     let conn = if keep_alive { "keep-alive" } else { "close" };
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {conn}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {conn}\r\n",
         reason(status),
         body.len(),
     );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     w.write_all(head.as_bytes())?;
     w.write_all(body.as_bytes())?;
     w.flush()
@@ -709,6 +742,31 @@ mod tests {
             .unwrap();
         let text = read_response(&mut s);
         assert!(text.ends_with("DELETE /c [0]"), "got: {text}");
+        handle.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn extra_headers_are_emitted_before_the_body() {
+        let (handle, addr, join) = start(Arc::new(|_: &Request| {
+            HandlerResult::JsonHeaders(
+                429,
+                "{\"error\":\"queue full\"}".into(),
+                vec![
+                    ("Retry-After".into(), "2".into()),
+                    ("retry-after-ms".into(), "1500".into()),
+                ],
+            )
+        }));
+        let out = raw_roundtrip(
+            addr,
+            "GET /x HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
+        let head = out.split("\r\n\r\n").next().unwrap();
+        assert!(out.starts_with("HTTP/1.1 429"), "got: {out}");
+        assert!(head.contains("Retry-After: 2"), "got: {head}");
+        assert!(head.contains("retry-after-ms: 1500"), "got: {head}");
+        assert!(out.ends_with("{\"error\":\"queue full\"}"), "got: {out}");
         handle.stop();
         join.join().unwrap();
     }

@@ -36,6 +36,12 @@ pub struct JobSpec {
     pub ecc_bits: u8,
     pub ways: u8,
     pub seed: u64,
+    /// Warm-up cycles excluded from metrics; `None` keeps the config
+    /// default (35 M, the paper's fast-forward stand-in). Load tests
+    /// submit small values so a job costs milliseconds, not seconds.
+    /// Part of the fingerprint: runs with different warm-up lengths are
+    /// different simulations.
+    pub warmup: Option<u64>,
     /// Worker threads for the simulator's front-end refill. Pure
     /// throughput knob: reports are byte-identical at any value, so it
     /// is deliberately *excluded* from the run-cache fingerprint — jobs
@@ -67,6 +73,7 @@ impl Default for JobSpec {
             ecc_bits: 1,
             ways: 4,
             seed: 1,
+            warmup: None,
             threads: 0,
             priority: 1,
             client: "anon".into(),
@@ -94,6 +101,11 @@ impl Serialize for JobSpec {
             ("ecc_bits".into(), self.ecc_bits.to_value()),
             ("ways".into(), self.ways.to_value()),
             ("seed".into(), self.seed.to_value()),
+        ]);
+        if let Some(warmup) = self.warmup {
+            m.push(("warmup".into(), warmup.to_value()));
+        }
+        m.extend([
             ("threads".into(), self.threads.to_value()),
             ("priority".into(), self.priority.to_value()),
             ("client".into(), Value::Str(self.client.clone())),
@@ -116,6 +128,7 @@ const KNOWN_FIELDS: &[&str] = &[
     "ecc_bits",
     "ways",
     "seed",
+    "warmup",
     "threads",
     "priority",
     "client",
@@ -167,6 +180,13 @@ impl Deserialize for JobSpec {
         opt(m, "ecc_bits", &mut spec.ecc_bits)?;
         opt(m, "ways", &mut spec.ways)?;
         opt(m, "seed", &mut spec.seed)?;
+        if let Ok(v) = map_get(m, "warmup") {
+            if !matches!(v, Value::Null) {
+                let warmup =
+                    u64::from_value(v).map_err(|e| serde::Error::custom(format!("warmup: {e}")))?;
+                spec.warmup = Some(warmup);
+            }
+        }
         opt(m, "threads", &mut spec.threads)?;
         opt(m, "priority", &mut spec.priority)?;
         opt(m, "client", &mut spec.client)?;
@@ -234,6 +254,9 @@ impl JobSpec {
             .map_err(|e| format!("retention_us {}: {e}", self.retention_us))?;
         cfg.sim_instructions = self.instructions;
         cfg.seed = self.seed;
+        if let Some(w) = self.warmup {
+            cfg.warmup_cycles = w;
+        }
         let label = self.workload.clone();
         let fingerprint = esteem_harness::runcache::fingerprint(&cfg, &profiles, &label);
         Ok(ResolvedJob {
@@ -443,6 +466,7 @@ mod tests {
             technique: "ecc".into(),
             retention_us: 40.0,
             modules: Some(4),
+            warmup: Some(500_000),
             priority: 7,
             client: "sweeper".into(),
             ..JobSpec::default()
@@ -450,6 +474,25 @@ mod tests {
         let json = serde_json::to_string(&spec).unwrap();
         let back: JobSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn warmup_override_changes_the_fingerprint() {
+        // Warm-up length changes the simulated region, so short-warm-up
+        // load-test jobs must never hit the run cache of (or coalesce
+        // with) a full-warm-up run of the same options.
+        let full = JobSpec {
+            workload: "gamess".into(),
+            ..JobSpec::default()
+        };
+        let short = JobSpec {
+            warmup: Some(200_000),
+            ..full.clone()
+        };
+        let a = full.resolve().unwrap();
+        let b = short.resolve().unwrap();
+        assert_eq!(b.cfg.warmup_cycles, 200_000);
+        assert_ne!(a.fingerprint, b.fingerprint);
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //!   workspace is offline and vendors every dependency).
 //! * [`job`] — job specs (wire format mirrors the `esteem-sim` CLI
 //!   flags), per-job state, and blocking progress-event streams.
-//! * [`queue`] — bounded priority queue with per-client fairness.
+//! * [`queue`] — bounded priority queue with per-client fairness and
+//!   optional priority aging.
+//! * [`admission`] — front-door admission control: per-client token
+//!   buckets and SLO shedding on windowed queue-wait p95, with
+//!   `Retry-After` hints on every shed.
 //! * [`journal`] — crash-safe append-only JSONL journal + recovery.
 //! * [`server`] — the daemon: scheduler thread, resident
 //!   [`esteem_par::WorkerPool`], run-cache-backed dedupe (identical
@@ -21,7 +25,12 @@
 //!   bounded flight recorder behind `/v1/flight-recorder` and the
 //!   panic crash dump.
 //! * [`client`] — a minimal blocking HTTP client used by
-//!   `esteem-client`, `esteem-top`, and the end-to-end tests.
+//!   `esteem-client`, `esteem-top`, and the end-to-end tests; its
+//!   [`RetryPolicy`] honors server `Retry-After` hints on 429.
+//! * [`loadgen`] — the `esteem-loadgen` harness: open-loop (Poisson)
+//!   and closed-loop (fixed concurrency) arrivals, cheap/expensive job
+//!   mixes, a cache-hit-ratio knob, and saturation sweeps that produce
+//!   `BENCH_serve.json`.
 //!
 //! API summary (see DESIGN.md §13 for the full contract):
 //!
@@ -38,15 +47,18 @@
 //! | `GET /v1/health`          | liveness probe                         |
 //! | `POST /v1/shutdown`       | graceful drain and exit                |
 
+pub mod admission;
 pub mod client;
 pub mod cluster;
 pub mod http;
 pub mod job;
 pub mod journal;
+pub mod loadgen;
 pub mod observe;
 pub mod queue;
 pub mod server;
 
+pub use admission::{AdmissionControl, AdmissionOptions, Shed, ShedReason};
 pub use client::RetryPolicy;
 pub use cluster::{ClusterAgent, ClusterConfig};
 pub use job::{Job, JobSpec, JobState};

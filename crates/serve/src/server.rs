@@ -30,6 +30,7 @@ use esteem_stats::{
 use esteem_trace::{EventKind, TraceEvent, TraceFilter, Tracer};
 use serde::{Serialize, Value};
 
+use crate::admission::{AdmissionControl, AdmissionOptions, Shed, ShedReason};
 use crate::cluster::{ClusterAgent, ClusterConfig};
 use crate::http::{Handler, HandlerResult, HttpCounters, HttpServer};
 use crate::job::{EventStream, Job, JobSpec, JobState};
@@ -75,6 +76,13 @@ pub struct ServerOptions {
     /// Join a cluster as a worker: register/heartbeat with this
     /// coordinator (`None` = standalone daemon).
     pub cluster: Option<ClusterConfig>,
+    /// Front-door admission control (token buckets + SLO shedding).
+    /// Disabled unless a rate limit or SLO is configured; the bounded
+    /// queue's 429-on-full backstop applies regardless.
+    pub admission: AdmissionOptions,
+    /// Queue priority aging: bump effective priority one level per this
+    /// many pops spent waiting (0 = off). See [`JobQueue::with_aging`].
+    pub aging_pops: u64,
 }
 
 impl Default for ServerOptions {
@@ -90,6 +98,8 @@ impl Default for ServerOptions {
             flight_recorder_jobs: 256,
             flight_dump: None,
             cluster: None,
+            admission: AdmissionOptions::default(),
+            aging_pops: 0,
         }
     }
 }
@@ -103,6 +113,10 @@ pub struct ServeCounters {
     pub cached: AtomicU64,
     /// Submissions shed because the queue was full.
     pub shed: AtomicU64,
+    /// Submissions shed by a per-client token bucket.
+    pub shed_rate_limited: AtomicU64,
+    /// Submissions shed because windowed queue-wait p95 breached the SLO.
+    pub shed_slo: AtomicU64,
     /// Submissions rejected at resolve time (bad spec).
     pub rejected: AtomicU64,
     pub completed: AtomicU64,
@@ -119,6 +133,11 @@ impl StatsSource for ServeCounters {
         out.counter("jobs_coalesced", self.coalesced.load(Ordering::Relaxed));
         out.counter("jobs_cached", self.cached.load(Ordering::Relaxed));
         out.counter("jobs_shed", self.shed.load(Ordering::Relaxed));
+        out.counter(
+            "jobs_shed_rate_limited",
+            self.shed_rate_limited.load(Ordering::Relaxed),
+        );
+        out.counter("jobs_shed_slo", self.shed_slo.load(Ordering::Relaxed));
         out.counter("jobs_rejected", self.rejected.load(Ordering::Relaxed));
         out.counter("jobs_completed", self.completed.load(Ordering::Relaxed));
         out.counter("jobs_failed", self.failed.load(Ordering::Relaxed));
@@ -177,6 +196,8 @@ struct State {
     flight_dump: Option<PathBuf>,
     /// Cluster membership agent (workers only; filled in after bind).
     cluster: Mutex<Option<Arc<ClusterAgent>>>,
+    /// Front-door admission control; `None` when fully disabled.
+    admission: Option<AdmissionControl>,
 }
 
 impl State {
@@ -345,7 +366,7 @@ pub fn spawn(opts: ServerOptions) -> std::io::Result<Daemon> {
         jobs: Mutex::new(HashMap::new()),
         next_id: AtomicU64::new(0),
         inflight: Mutex::new(HashMap::new()),
-        queue: JobQueue::new(opts.queue_capacity),
+        queue: JobQueue::new(opts.queue_capacity).with_aging(opts.aging_pops),
         journal,
         counters: ServeCounters::default(),
         tracer,
@@ -360,6 +381,10 @@ pub fn spawn(opts: ServerOptions) -> std::io::Result<Daemon> {
         flight: FlightRecorder::new(opts.flight_recorder_jobs),
         flight_dump: opts.flight_dump.clone(),
         cluster: Mutex::new(None),
+        admission: opts
+            .admission
+            .enabled()
+            .then(|| AdmissionControl::new(opts.admission.clone())),
     });
     state.gate.set(opts.start_paused);
 
@@ -620,13 +645,73 @@ enum Submitted {
     Cached(u64),
 }
 
-fn submit(state: &Arc<State>, spec: JobSpec) -> Result<Submitted, (u16, String)> {
+/// Submit refusal: HTTP status, body message, and (for 429 sheds) the
+/// `Retry-After` hint the admission layer or queue-wait history derived.
+struct Reject {
+    status: u16,
+    msg: String,
+    retry_after_ms: Option<u64>,
+}
+
+impl Reject {
+    fn plain(status: u16, msg: impl Into<String>) -> Self {
+        Self {
+            status,
+            msg: msg.into(),
+            retry_after_ms: None,
+        }
+    }
+}
+
+/// `Retry-After` hint for queue-full sheds: queue-wait p50 says how
+/// long a slot typically takes to open; default 1s before any job has
+/// flowed through, capped so a latency spike cannot park clients.
+fn queue_full_retry_hint_ms(state: &State) -> u64 {
+    let snap = state.metrics.queue_wait_us.snapshot();
+    if snap.count() == 0 {
+        return 1_000;
+    }
+    (snap.quantile(0.5) / 1_000).clamp(1, 30_000)
+}
+
+fn submit(state: &Arc<State>, spec: JobSpec) -> Result<Submitted, Reject> {
     let born_at_us = state.metrics.now_us();
     let resolved = spec.resolve().map_err(|e| {
         state.counters.rejected.fetch_add(1, Ordering::Relaxed);
-        (400, e)
+        Reject::plain(400, e)
     })?;
     let fp = resolved.fingerprint;
+
+    // Admission control runs after resolve (malformed specs stay 400)
+    // but before coalesce/cache: an overloaded daemon sheds cheap-to-
+    // serve duplicates too, which keeps the check one lock-free read
+    // away from the hot path and the 429 semantics uniform.
+    if let Some(ac) = &state.admission {
+        if let Err(shed) = ac.admit(
+            &spec.client,
+            state.metrics.now_us(),
+            &state.metrics.queue_wait_us,
+        ) {
+            let Shed {
+                reason,
+                retry_after_ms,
+            } = shed;
+            state.counters.shed.fetch_add(1, Ordering::Relaxed);
+            let counter = match reason {
+                ShedReason::RateLimited => &state.counters.shed_rate_limited,
+                ShedReason::SloBreached => &state.counters.shed_slo,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            return Err(Reject {
+                status: 429,
+                msg: match reason {
+                    ShedReason::RateLimited => format!("rate limited: {}", spec.client),
+                    ShedReason::SloBreached => "shedding load: queue-wait SLO breached".into(),
+                },
+                retry_after_ms: Some(retry_after_ms),
+            });
+        }
+    }
 
     // Coalesce + enqueue under the inflight lock, so a duplicate either
     // sees the primary (and coalesces) or races cleanly to be primary.
@@ -702,11 +787,15 @@ fn submit(state: &Arc<State>, spec: JobSpec) -> Result<Submitted, (u16, String)>
         Err(PushError::Full) => {
             state.remove_job(id);
             state.counters.shed.fetch_add(1, Ordering::Relaxed);
-            Err((429, "queue full".into()))
+            Err(Reject {
+                status: 429,
+                msg: "queue full".into(),
+                retry_after_ms: Some(queue_full_retry_hint_ms(state)),
+            })
         }
         Err(PushError::Closed) => {
             state.remove_job(id);
-            Err((503, "daemon is shutting down".into()))
+            Err(Reject::plain(503, "daemon is shutting down"))
         }
     }
 }
@@ -717,6 +806,28 @@ fn json_err(status: u16, msg: &str) -> HandlerResult {
         serde_json::to_string(&Value::Map(vec![("error".into(), Value::Str(msg.into()))]))
             .expect("serializes"),
     )
+}
+
+/// A [`Reject`] as a response: the error body plus, when a retry hint
+/// is present, both the standard seconds-granularity `Retry-After` and
+/// the precise `retry-after-ms` extension header.
+fn reject_response(reject: &Reject) -> HandlerResult {
+    let body = serde_json::to_string(&Value::Map(vec![(
+        "error".into(),
+        Value::Str(reject.msg.clone()),
+    )]))
+    .expect("serializes");
+    match reject.retry_after_ms {
+        Some(ms) => HandlerResult::JsonHeaders(
+            reject.status,
+            body,
+            vec![
+                ("Retry-After".into(), ms.div_ceil(1_000).max(1).to_string()),
+                ("retry-after-ms".into(), ms.to_string()),
+            ],
+        ),
+        None => HandlerResult::Json(reject.status, body),
+    }
 }
 
 fn job_status_body(job: &Job) -> String {
@@ -845,6 +956,14 @@ fn status_body(state: &State) -> String {
         ("cached".into(), c.cached.load(Ordering::Relaxed).to_value()),
         ("shed".into(), c.shed.load(Ordering::Relaxed).to_value()),
         (
+            "shed_rate_limited".into(),
+            c.shed_rate_limited.load(Ordering::Relaxed).to_value(),
+        ),
+        (
+            "shed_slo".into(),
+            c.shed_slo.load(Ordering::Relaxed).to_value(),
+        ),
+        (
             "rejected".into(),
             c.rejected.load(Ordering::Relaxed).to_value(),
         ),
@@ -941,6 +1060,27 @@ fn status_body(state: &State) -> String {
             (state.flight.len() as u64).to_value(),
         ),
     ]);
+    if let (Some(ac), Value::Map(map)) = (&state.admission, &mut body) {
+        let opts = ac.options();
+        let mut a: Vec<(String, Value)> = vec![
+            (
+                "rate_per_sec".into(),
+                opts.rate_per_sec.map(Value::F64).unwrap_or(Value::Null),
+            ),
+            ("burst".into(), Value::F64(opts.burst)),
+            (
+                "slo_ms".into(),
+                opts.slo_ms.map(|v| v.to_value()).unwrap_or(Value::Null),
+            ),
+            ("buckets".into(), (ac.bucket_count() as u64).to_value()),
+        ];
+        if let Some(sig) = ac.slo_signal(&m.queue_wait_us) {
+            a.push(("window_p95_us".into(), sig.window_p95_us.to_value()));
+            a.push(("window_samples".into(), sig.window_samples.to_value()));
+            a.push(("slo_engaged".into(), Value::Bool(sig.engaged)));
+        }
+        map.push(("admission".into(), Value::Map(a)));
+    }
     let agent = state
         .cluster
         .lock()
@@ -990,7 +1130,7 @@ fn make_handler(state: Arc<State>) -> Handler {
                         .expect("serializes");
                         HandlerResult::Json(202, body)
                     }
-                    Err((status, msg)) => json_err(status, &msg),
+                    Err(reject) => reject_response(&reject),
                 }
             }
             ("GET", ["v1", "jobs", id]) => {

@@ -10,7 +10,7 @@
 use std::time::Duration;
 
 use esteem_core::Simulator;
-use esteem_serve::{client, spawn, JobSpec, ServerOptions};
+use esteem_serve::{client, spawn, AdmissionOptions, JobSpec, ServerOptions};
 use serde::{map_get, Deserialize, Serialize, Value};
 
 fn opts() -> ServerOptions {
@@ -28,6 +28,17 @@ fn spec(seed: u64) -> JobSpec {
         instructions: 200_000,
         seed,
         ..JobSpec::default()
+    }
+}
+
+/// A spec with a tiny warm-up. The scheduling/admission tests care
+/// about queue physics, not simulator fidelity, and the default
+/// 35 M-cycle warm-up costs seconds per job in debug builds.
+fn quick(seed: u64) -> JobSpec {
+    JobSpec {
+        instructions: 20_000,
+        warmup: Some(200_000),
+        ..spec(seed)
     }
 }
 
@@ -815,4 +826,468 @@ fn daemon_and_client_binaries_round_trip() {
     let journal_text = std::fs::read_to_string(&journal).unwrap();
     assert!(journal_text.contains("\"submit\"") && journal_text.contains("\"done\""));
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Admission control, priority aging, Retry-After, and the load harness.
+
+/// Blocks until `read()` reaches `at_least` (short poll, long timeout).
+fn wait_for(read: impl Fn() -> u64, at_least: u64, what: &str) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while read() < at_least {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timeout waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Token-bucket refusal is per-client: alice exhausting her burst does
+/// not touch bob's bucket, and every shed carries Retry-After hints in
+/// both the error string and the raw response headers.
+#[test]
+fn rate_limit_refuses_per_client_with_retry_hints() {
+    let daemon = spawn(ServerOptions {
+        start_paused: true,
+        queue_capacity: 16,
+        admission: AdmissionOptions {
+            rate_per_sec: Some(0.5),
+            burst: 2.0,
+            ..AdmissionOptions::default()
+        },
+        ..opts()
+    })
+    .unwrap();
+    let addr = daemon.addr().to_string();
+    let with_client = |seed: u64, client: &str| JobSpec {
+        client: client.into(),
+        ..quick(seed)
+    };
+
+    // Alice's burst of 2 is admitted; her third submit is refused.
+    client::submit(&addr, &with_client(0xAC01, "alice")).unwrap();
+    client::submit(&addr, &with_client(0xAC02, "alice")).unwrap();
+    let err = client::submit(&addr, &with_client(0xAC03, "alice"))
+        .expect_err("third submit in the burst window must shed");
+    assert!(
+        err.contains("429") && err.contains("rate limited"),
+        "got: {err}"
+    );
+    let hint = client::retry_after_ms_from_error(&err)
+        .expect("shed error must embed the Retry-After hint");
+    assert!(hint >= 1, "hint {hint}ms");
+
+    // Bob sails through on his own bucket while alice is throttled.
+    client::submit(&addr, &with_client(0xAC04, "bob")).unwrap();
+
+    // The raw 429 response carries both header forms.
+    let body = serde_json::to_string(&with_client(0xAC05, "alice").to_value()).unwrap();
+    let (status, headers, resp) = client::request_full(
+        &addr,
+        "POST",
+        "/v1/jobs",
+        Some(&body),
+        Duration::from_secs(5),
+    )
+    .unwrap();
+    assert_eq!(status, 429, "got {status}: {resp}");
+    assert!(
+        headers.iter().any(|(k, _)| k == "retry-after"),
+        "Retry-After missing: {headers:?}"
+    );
+    assert!(
+        client::retry_after_ms(&headers).is_some_and(|ms| ms >= 1),
+        "retry-after-ms missing: {headers:?}"
+    );
+
+    let c = daemon.counters();
+    let load = |a: &std::sync::atomic::AtomicU64| a.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(load(&c.shed_rate_limited) >= 2, "both alice sheds counted");
+    assert_eq!(load(&c.shed), load(&c.shed_rate_limited));
+
+    // Status exposes the admission block.
+    let (_, status_body) = client::request(&addr, "GET", "/v1/status", None).unwrap();
+    for needle in ["\"admission\"", "\"rate_per_sec\"", "\"buckets\""] {
+        assert!(
+            status_body.contains(needle),
+            "missing {needle}:\n{status_body}"
+        );
+    }
+
+    daemon.resume();
+    daemon.shutdown();
+    daemon.wait();
+}
+
+/// SLO shedding engages while the queue-wait window breaches the SLO
+/// and disengages once the breach ages out of the sliding window.
+#[test]
+fn slo_shedding_engages_on_queue_wait_flood_and_disengages() {
+    let daemon = spawn(ServerOptions {
+        admission: AdmissionOptions {
+            slo_ms: Some(50),
+            window_slot_ms: 100,
+            window_slots: 2,
+            min_window_samples: 4,
+            ..AdmissionOptions::default()
+        },
+        ..opts()
+    })
+    .unwrap();
+    let addr = daemon.addr().to_string();
+
+    // Inject a queue-wait flood far over the 50ms SLO (the public
+    // recording surface doubles as the latency injection point).
+    for _ in 0..20 {
+        daemon.serve_metrics().queue_wait_us.record(400_000);
+    }
+    let err = client::submit(&addr, &quick(0xAC10)).expect_err("breached SLO must shed");
+    assert!(err.contains("429") && err.contains("SLO"), "got: {err}");
+    assert!(
+        client::retry_after_ms_from_error(&err).is_some(),
+        "SLO shed must carry a hint: {err}"
+    );
+
+    // Once the window rotates past the flood, submissions are admitted
+    // again — and the admitted job actually runs to completion.
+    let mut admitted = None;
+    for i in 0..40u64 {
+        std::thread::sleep(Duration::from_millis(120));
+        if let Ok(resp) = client::submit(&addr, &quick(0xAC20 + i)) {
+            admitted = Some(resp);
+            break;
+        }
+    }
+    let admitted = admitted.expect("shedding must disengage after the flood ages out");
+    client::fetch(&addr, admitted.job, Duration::from_millis(10)).unwrap();
+    assert!(
+        daemon
+            .counters()
+            .shed_slo
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    daemon.shutdown();
+    daemon.wait();
+}
+
+/// Priority aging: a p1 job behind a p2 flood is eventually promoted
+/// over *fresh* p2 arrivals; without aging the fresh flood starves it
+/// indefinitely. Completion order is read off the flight recorder.
+#[test]
+fn priority_aging_promotes_a_starved_job_over_fresh_arrivals() {
+    let run = |aging_pops: u64, seed_base: u64| -> (usize, usize, usize) {
+        let daemon = spawn(ServerOptions {
+            workers: 1,
+            queue_capacity: 16,
+            start_paused: true,
+            aging_pops,
+            ..opts()
+        })
+        .unwrap();
+        let addr = daemon.addr().to_string();
+        let p2 = |seed: u64| JobSpec {
+            priority: 2,
+            ..quick(seed)
+        };
+        // Paused: a p2 flood, then the p1 job that would starve.
+        for i in 0..6 {
+            client::submit(&addr, &p2(seed_base + i)).unwrap();
+        }
+        let starved = client::submit(
+            &addr,
+            &JobSpec {
+                priority: 1,
+                ..quick(seed_base + 10)
+            },
+        )
+        .unwrap()
+        .job;
+        daemon.resume();
+        // Fresh p2 arrivals while the flood drains — the sustained-load
+        // shape that starves p1 forever without aging.
+        let completed = || {
+            daemon
+                .counters()
+                .completed
+                .load(std::sync::atomic::Ordering::Relaxed)
+        };
+        wait_for(completed, 1, "first flood completion");
+        let g1 = client::submit(&addr, &p2(seed_base + 20)).unwrap().job;
+        wait_for(completed, 2, "second flood completion");
+        let g2 = client::submit(&addr, &p2(seed_base + 21)).unwrap().job;
+        wait_for(completed, 9, "all nine jobs");
+        let order: Vec<u64> = daemon
+            .flight_recorder()
+            .snapshot()
+            .iter()
+            .map(|t| t.job)
+            .collect();
+        let pos = |id: u64| {
+            order
+                .iter()
+                .position(|&j| j == id)
+                .unwrap_or_else(|| panic!("job {id} missing from {order:?}"))
+        };
+        let res = (pos(starved), pos(g1), pos(g2));
+        daemon.shutdown();
+        daemon.wait();
+        res
+    };
+    let (s, g1, g2) = run(0, 0xA6E0_0000);
+    assert!(
+        s > g1 && s > g2,
+        "without aging fresh p2 arrivals starve p1: starved at {s}, fresh at {g1}/{g2}"
+    );
+    let (s, g1, g2) = run(1, 0xA6E1_0000);
+    assert!(
+        s < g1 && s < g2,
+        "aging must promote the starved job: starved at {s}, fresh at {g1}/{g2}"
+    );
+}
+
+/// A short closed-loop load run against a live daemon: completions
+/// happen, latency is measured, and the report carries the server view.
+#[test]
+fn loadgen_closed_loop_drives_a_live_daemon() {
+    use esteem_serve::loadgen::{self, LoadgenOptions, Mode};
+    let daemon = spawn(opts()).unwrap();
+    let lopts = LoadgenOptions {
+        addr: daemon.addr().to_string(),
+        mode: Mode::Closed { concurrency: 2 },
+        duration: Duration::from_millis(1200),
+        seed: 0x0010_AD01,
+        clients: 2,
+        hit_ratio: 0.3,
+        expensive_frac: 0.0,
+        cheap_instructions: 100_000,
+        poll_interval: Duration::from_millis(3),
+        ..LoadgenOptions::default()
+    };
+    let report = loadgen::run(&lopts);
+    assert!(report.completed > 0, "no completions: {report:?}");
+    assert_eq!(report.latency.count, report.completed);
+    assert!(report.throughput_rps > 0.0);
+    assert!(report.shed_rate < 1.0);
+    assert!(report.latency.p95_us >= report.latency.p50_us);
+    let sq = report
+        .server_queue_wait
+        .expect("server status must be readable after the run");
+    // Cached and coalesced completions never enqueue, so they leave no
+    // queue-wait sample behind.
+    assert!(
+        sq.count + report.cached + report.coalesced >= report.completed,
+        "queue-wait samples {} can't cover completions {} (cached {}, coalesced {})",
+        sq.count,
+        report.completed,
+        report.cached,
+        report.coalesced
+    );
+    daemon.shutdown();
+    daemon.wait();
+}
+
+/// `esteem-loadgen --smoke` is deterministic: same seed, same digest,
+/// run to run; a different seed moves it.
+#[test]
+fn loadgen_smoke_digest_is_deterministic() {
+    use std::process::Command;
+    let digest = |args: &[&str]| -> String {
+        let out = Command::new(env!("CARGO_BIN_EXE_esteem-loadgen"))
+            .args(args)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "loadgen {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let a = digest(&["--smoke", "--seed", "42", "--mode", "open", "--rps", "50"]);
+    let b = digest(&["--smoke", "--seed", "42", "--mode", "open", "--rps", "50"]);
+    assert_eq!(a, b, "fixed seed must give an identical schedule");
+    assert!(a.starts_with("schedule digest: "), "got: {a}");
+    let c = digest(&["--smoke", "--seed", "43", "--mode", "open", "--rps", "50"]);
+    assert_ne!(a, c, "a different seed must move the digest");
+}
+
+/// The acceptance criterion: under sustained open-loop overload (1.3x
+/// the probed saturation rate) of a one-worker daemon, `--slo-ms`
+/// admission keeps queue-wait p95 within 2x the SLO, while the
+/// uncontrolled baseline blows through it. Everything is measured in
+/// units of the probed single-job runtime R so the test is
+/// machine-speed independent.
+#[test]
+fn slo_shedding_bounds_overload_p95_where_baseline_collapses() {
+    use esteem_serve::loadgen::{self, LoadgenOptions, Mode};
+
+    // Heavier than `quick()` on purpose: the SLO thresholds below are
+    // multiples of the probed job runtime R, and R must dominate the
+    // scheduling/polling noise of the loaded phases for the multiples
+    // to mean anything. (Probed R is idle-machine R; under load each
+    // job also absorbs contention, which only widens the baseline
+    // breach but would sink a too-tight controlled bound.)
+    const LOAD_WARMUP: u64 = 2_000_000;
+
+    // Probe the saturation rate with a closed-loop run at concurrency
+    // 3: enough outstanding jobs that the single worker never idles
+    // waiting on client-side submit/fetch turnaround, so
+    // `duration / completed` measures the true per-job *service* time.
+    // (A serial or one-off probe instead measures service plus client
+    // overhead, overestimating R by tens of percent — and an "overload"
+    // phase paced from that R quietly runs at ~1.0x saturation, where
+    // shedding correctly never engages.) The probe polls at the same
+    // cadence as the load phases: on a small machine polling is real
+    // contention, and a probe that polls harder than the load phase
+    // reports an R the loaded daemon then beats.
+    let r_us = {
+        let daemon = spawn(ServerOptions {
+            workers: 1,
+            ..opts()
+        })
+        .unwrap();
+        let probe_opts = |seed: u64, secs: u64| LoadgenOptions {
+            addr: daemon.addr().to_string(),
+            mode: Mode::Closed { concurrency: 3 },
+            duration: Duration::from_secs(secs),
+            seed,
+            hit_ratio: 0.0,
+            expensive_frac: 0.0,
+            cheap_instructions: 20_000,
+            warmup: Some(LOAD_WARMUP),
+            poll_interval: Duration::from_millis(25),
+            ..LoadgenOptions::default()
+        };
+        // Discard a first run: the earliest jobs in the *process* run
+        // ~1.5x slower than steady state (allocator growth, page
+        // faults), and a probe that includes them overstates R — which
+        // understates the saturation rate and turns the "overload"
+        // phases into ~1.0x runs where shedding never engages.
+        loadgen::run(&probe_opts(0xAD11, 2));
+        let probe = loadgen::run(&probe_opts(0xAD10, 3));
+        daemon.shutdown();
+        daemon.wait();
+        assert!(probe.completed > 0, "probe run completed nothing");
+        ((probe.duration_s * 1e6) as u64 / probe.completed).max(10_000)
+    };
+    let slo_us = 5 * r_us;
+    let r_s = r_us as f64 / 1e6;
+    // 1.3x the one-worker saturation rate: far enough past 1.0 that
+    // probe error cannot flip the phases back under saturation, yet low
+    // enough that the worst admitted job (queued just before shedding
+    // engages, popped after the backlog drains) waits ~1.3x SLO —
+    // inside the 2x bound asserted below. (The worst wait scales with
+    // the overload factor: shedding engages at the first pop beyond the
+    // SLO, and the backlog already admitted at that instant is factor x
+    // SLO deep in time.)
+    let overload_factor = 1.3;
+    let measure = Duration::from_secs_f64((80.0 * r_s).max(4.0));
+    // Calibrate each phase's nominal rps so the *realized* arrival
+    // count inside the measurement window hits the target factor
+    // exactly. A finite Poisson stream can run 20-30% hot or cold by
+    // seed luck, which is the difference between "1.3x overload" and
+    // "1.7x overload" — offsets scale exactly as 1/rps, so placing the
+    // k-th unit-rate arrival at the window edge nails the realized
+    // rate deterministically.
+    let rps_for = |seed: u64| -> f64 {
+        let t = measure.as_secs_f64();
+        let k = ((overload_factor * t / r_s).ceil() as usize).max(2);
+        let unit = loadgen::arrival_offsets_us(seed, k, 1.0);
+        (unit[k - 1] as f64 / 1e6) / t
+    };
+
+    let overload = |admission: AdmissionOptions, seed: u64| -> (u64, u64) {
+        let daemon = spawn(ServerOptions {
+            workers: 1,
+            queue_capacity: 64,
+            admission,
+            ..opts()
+        })
+        .unwrap();
+        let rps = rps_for(seed ^ 0xFFFF);
+        let lg = |seed: u64, duration: Duration| LoadgenOptions {
+            addr: daemon.addr().to_string(),
+            mode: Mode::Open { rps },
+            duration,
+            seed,
+            clients: 4,
+            hit_ratio: 0.0,
+            expensive_frac: 0.0,
+            cheap_instructions: 20_000,
+            warmup: Some(LOAD_WARMUP),
+            // Gentle polling: at 1.3x saturation dozens of jobs are in
+            // flight, and aggressive polling would itself become the
+            // load the SLO math doesn't model. 25ms is still well under
+            // the SLO (5R), so it does not distort the wait histogram.
+            poll_interval: Duration::from_millis(25),
+            ..LoadgenOptions::default()
+        };
+        // Short warm phase (thread pools, run-cache misses), then the
+        // measured phase against a clean histogram baseline.
+        loadgen::run(&lg(seed, Duration::from_secs(1)));
+        let base = daemon.serve_metrics().queue_wait_us.snapshot();
+        let report = loadgen::run(&lg(seed ^ 0xFFFF, measure));
+        eprintln!(
+            "overload phase {seed:x}: attempts {} completed {} shed {} dropped {} failed {} \
+             cached {} coalesced {}",
+            report.attempts,
+            report.completed,
+            report.shed,
+            report.dropped,
+            report.failed,
+            report.cached,
+            report.coalesced
+        );
+        let p95 = daemon
+            .serve_metrics()
+            .queue_wait_us
+            .snapshot()
+            .delta_since(&base)
+            .quantile(0.95);
+        let shed_slo = daemon
+            .counters()
+            .shed_slo
+            .load(std::sync::atomic::Ordering::Relaxed);
+        daemon.shutdown();
+        daemon.wait();
+        (p95, shed_slo)
+    };
+
+    let (baseline_p95, _) = overload(AdmissionOptions::default(), 0xAD20);
+    let (controlled_p95, controlled_sheds) = overload(
+        AdmissionOptions {
+            slo_ms: Some(slo_us / 1_000),
+            // Queue-wait samples arrive one per pop, i.e. one per
+            // *loaded* service time (R plus contention), so the window
+            // is sized in units of R, not wall-clock — a fixed-ms window
+            // would never hold a sample on a slow machine. One sample is
+            // enough to engage: the p95 bound relies on shedding firing
+            // on the *first* pop whose wait clears the SLO, before the
+            // backlog (whose jobs are already beyond saving) deepens.
+            window_slot_ms: (r_us / 1_000).max(50),
+            window_slots: 4,
+            min_window_samples: 1,
+            ..AdmissionOptions::default()
+        },
+        0xAD30,
+    );
+    eprintln!(
+        "overload: R {r_us}us, slo {slo_us}us, baseline p95 {baseline_p95}us, \
+         controlled p95 {controlled_p95}us ({controlled_sheds} SLO sheds)"
+    );
+    assert!(
+        baseline_p95 > 2 * slo_us,
+        "uncontrolled 1.3x overload must breach 2x SLO: p95 {baseline_p95}us, slo {slo_us}us"
+    );
+    assert!(
+        controlled_p95 <= 2 * slo_us,
+        "admission must hold p95 within 2x SLO: p95 {controlled_p95}us, slo {slo_us}us \
+         (baseline was {baseline_p95}us)"
+    );
+    assert!(
+        controlled_sheds > 0,
+        "the bound must come from SLO shedding actually engaging"
+    );
 }

@@ -1,0 +1,147 @@
+//! Sliding-window quantiles over [`Histogram`](crate::Histogram)
+//! deltas.
+//!
+//! A [`Histogram`](crate::Histogram) accumulates forever, which is the
+//! right shape for lifetime stage latencies but useless as a *control
+//! signal*: admission control needs "queue-wait p95 over the last few
+//! seconds", not since boot. [`SlidingWindow`] turns the cumulative
+//! histogram into a windowed one without touching the record hot path:
+//! the caller periodically [`rotate`](SlidingWindow::rotate)s in a
+//! cumulative [`HistogramSnapshot`] (one per slot interval), the window
+//! keeps the last `slots` boundaries, and
+//! [`delta`](SlidingWindow::delta) answers with
+//! `current - oldest_boundary` — exactly the samples recorded during
+//! the window. Old load falls out of the signal as its boundary rotates
+//! off the ring, which is what lets SLO shedding *disengage* after a
+//! flood passes.
+//!
+//! Rotation cost is one snapshot (sparse copy of occupied buckets);
+//! there is no per-record cost at all.
+
+use std::collections::VecDeque;
+
+use crate::HistogramSnapshot;
+
+/// A bounded ring of cumulative snapshot boundaries; see module docs.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    slots: usize,
+    boundaries: VecDeque<HistogramSnapshot>,
+}
+
+impl SlidingWindow {
+    /// A window spanning `slots` rotation intervals (at least 1).
+    pub fn new(slots: usize) -> Self {
+        Self {
+            slots: slots.max(1),
+            boundaries: VecDeque::new(),
+        }
+    }
+
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of boundaries currently held (saturates at `slots`).
+    pub fn len(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.boundaries.is_empty()
+    }
+
+    /// Pushes a cumulative snapshot as the newest slot boundary,
+    /// dropping the oldest once `slots` are held. Call once per slot
+    /// interval; calling with an identical snapshot simply ages the
+    /// window (an idle period drains it to an empty delta).
+    pub fn rotate(&mut self, cumulative: HistogramSnapshot) {
+        self.boundaries.push_back(cumulative);
+        while self.boundaries.len() > self.slots {
+            self.boundaries.pop_front();
+        }
+    }
+
+    /// Samples recorded since the oldest held boundary: the windowed
+    /// histogram. Before the first rotation this is `current` itself
+    /// (the window is "everything so far", which self-corrects after
+    /// one slot interval).
+    pub fn delta(&self, current: &HistogramSnapshot) -> HistogramSnapshot {
+        match self.boundaries.front() {
+            Some(oldest) => current.delta_since(oldest),
+            None => current.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    #[test]
+    fn window_sees_only_recent_samples() {
+        let h = Histogram::new();
+        let mut w = SlidingWindow::new(2);
+        for _ in 0..100 {
+            h.record(10_000); // old, slow samples
+        }
+        w.rotate(h.snapshot());
+        for _ in 0..10 {
+            h.record(100); // recent, fast samples
+        }
+        let d = w.delta(&h.snapshot());
+        assert_eq!(d.count(), 10);
+        assert!(d.quantile(0.95) < 1_000, "old samples leaked into window");
+    }
+
+    #[test]
+    fn old_load_rotates_out() {
+        let h = Histogram::new();
+        let mut w = SlidingWindow::new(2);
+        w.rotate(h.snapshot());
+        for _ in 0..50 {
+            h.record(1_000_000); // a flood during slot 1
+        }
+        w.rotate(h.snapshot());
+        assert!(w.delta(&h.snapshot()).count() > 0);
+        // Two idle rotations later the flood is outside the window.
+        w.rotate(h.snapshot());
+        w.rotate(h.snapshot());
+        assert_eq!(w.delta(&h.snapshot()).count(), 0);
+    }
+
+    #[test]
+    fn before_first_rotation_window_is_lifetime() {
+        let h = Histogram::new();
+        let w = SlidingWindow::new(4);
+        h.record(42);
+        assert_eq!(w.delta(&h.snapshot()).count(), 1);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let h = Histogram::new();
+        let mut w = SlidingWindow::new(3);
+        for _ in 0..10 {
+            w.rotate(h.snapshot());
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(SlidingWindow::new(0).slots(), 1);
+    }
+
+    #[test]
+    fn windowed_quantiles_track_the_delta() {
+        let h = Histogram::new();
+        let mut w = SlidingWindow::new(4);
+        h.record(1);
+        w.rotate(h.snapshot());
+        for v in [100u64, 200, 300, 400] {
+            h.record(v);
+        }
+        let d = w.delta(&h.snapshot());
+        assert_eq!(d.count(), 4);
+        assert!(d.quantile(0.5) >= 100);
+        assert!(d.quantile(1.0) >= 390); // log-linear error ~1.6%
+    }
+}

@@ -68,4 +68,51 @@ if [ -n "$committed_hist" ]; then
 else
   echo "perf gate: reference has no histogram_record_ns; skipping that check"
 fi
+
+# Serving-path saturation: only gated once a BENCH_serve.json reference
+# is committed. A short closed-loop sweep against an ephemeral daemon
+# must stay within the same noise fraction of the committed saturation
+# RPS — this catches "someone made the submit/queue/complete path 2x
+# slower", which the simulator-side microbench cannot see.
+serve_ref="BENCH_serve.json"
+if [ -f "$serve_ref" ]; then
+  committed_rps="$(extract "$serve_ref" saturation_rps)"
+  if [ -z "$committed_rps" ]; then
+    echo "perf gate: no saturation_rps in $serve_ref" >&2
+    exit 2
+  fi
+  cargo build --release -p esteem-serve --bin esteem-serve --bin esteem-loadgen
+  serve_out="$(mktemp /tmp/perf_gate_serve.XXXXXX.out)"
+  serve_fresh="$(mktemp /tmp/bench_serve_fresh.XXXXXX.json)"
+  ./target/release/esteem-serve --addr 127.0.0.1:0 --workers 2 > "$serve_out" &
+  serve_pid=$!
+  trap 'rm -f "$fresh" "$serve_out" "$serve_fresh"; kill "$serve_pid" 2>/dev/null || true' EXIT
+  for _ in $(seq 1 50); do
+    grep -q "listening on " "$serve_out" && break
+    sleep 0.2
+  done
+  addr="$(sed -n 's/^listening on //p' "$serve_out")"
+  if [ -z "$addr" ]; then
+    echo "perf gate: daemon did not come up" >&2
+    exit 2
+  fi
+  ./target/release/esteem-loadgen --addr "$addr" --sweep 2,4,8 \
+    --duration-s 2 --out "$serve_fresh" >/dev/null
+  kill "$serve_pid" 2>/dev/null || true
+  wait "$serve_pid" 2>/dev/null || true
+  measured_rps="$(extract "$serve_fresh" saturation_rps)"
+  if [ -z "$measured_rps" ]; then
+    echo "perf gate: loadgen sweep produced no saturation_rps" >&2
+    exit 2
+  fi
+  floor_rps="$(awk -v c="$committed_rps" -v f="$fraction" 'BEGIN { printf "%.2f", c * f }')"
+  echo "perf gate: committed ${committed_rps} RPS at saturation, measured ${measured_rps}, floor ${floor_rps}"
+  awk -v m="$measured_rps" -v fl="$floor_rps" 'BEGIN { exit !(m + 0 >= fl + 0) }' || {
+    echo "perf gate: FAIL — saturation_rps ${measured_rps} < ${floor_rps}" >&2
+    echo "           (regenerate BENCH_serve.json if the slowdown is intended)" >&2
+    exit 1
+  }
+else
+  echo "perf gate: no BENCH_serve.json; skipping the serving-path check"
+fi
 echo "perf gate: OK"
